@@ -1,0 +1,63 @@
+"""Figure 10: optimal vs suboptimal mappings across multiplier counts.
+
+A small NCHW convolution (1x2x10x10 input; K=8, R=S=3 — the paper omits
+the filter shape) is simulated on MAERI with 8..128 multipliers.  For
+every multiplier setting the whole (sub-sampled) mapping space is searched
+exhaustively with the grid tuner and the globally optimal and suboptimal
+mappings are reported, exactly the Figure 10 procedure.
+
+Paper shapes: at few multipliers optimal and suboptimal differ by a small
+factor (~4x); at 128 multipliers by a large one (~76x); the optimal
+mapping at 8 multipliers needs ~12x the cycles of the optimal at 128.
+"""
+
+from conftest import emit
+
+from repro.stonne.config import maeri_config
+from repro.stonne.maeri import MaeriController
+from repro.tuner import GridSearchTuner, MaeriConvTask
+from repro.tuner.space import config_to_conv_mapping
+from repro.workloads import fig10_conv, multiplier_sweep
+
+
+def _search(ms_size: int):
+    """Exhaustively grid-search the mapping space at one array size."""
+    layer = fig10_conv()
+    config = maeri_config(ms_size=ms_size)
+    task = MaeriConvTask(layer, config, objective="cycles",
+                         max_options_per_tile=5)
+    result = GridSearchTuner(task).tune(n_trials=10 ** 9)
+    best = result.best_cost
+    worst = max(t.cost for t in result.records.trials if t.valid)
+    return int(best), int(worst), result.num_trials
+
+
+def _sweep():
+    return {ms: _search(ms) for ms in multiplier_sweep()}
+
+
+def test_fig10_mapping_space(benchmark, results_dir):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'ms_size':>8}{'optimal':>12}{'suboptimal':>12}{'gap':>8}{'configs':>9}"
+    ]
+    for ms, (best, worst, trials) in data.items():
+        lines.append(f"{ms:>8}{best:>12,}{worst:>12,}{worst / best:>8.1f}{trials:>9}")
+    b8, w8, _ = data[8]
+    b128, w128, _ = data[128]
+    lines.append(
+        f"gap growth 8->128 multipliers: {w8 / b8:.1f}x -> {w128 / b128:.1f}x "
+        "(paper: ~4x -> ~76x)"
+    )
+    lines.append(
+        f"optimal 8 vs 128 multipliers: {b8 / b128:.1f}x (paper: ~12x)"
+    )
+    emit(results_dir, "fig10_mapping_space", "\n".join(lines))
+
+    # Shape assertions.
+    gaps = [data[ms][1] / data[ms][0] for ms in multiplier_sweep()]
+    assert gaps == sorted(gaps), "gap must grow monotonically with array size"
+    assert w128 / b128 > 4 * (w8 / b8)
+    optima = [data[ms][0] for ms in multiplier_sweep()]
+    assert optima == sorted(optima, reverse=True)
+    assert 6 <= b8 / b128 <= 20

@@ -1,0 +1,16 @@
+"""Table I: feature comparison of Bifrost against related systems."""
+
+from conftest import emit
+
+from repro.bifrost.reporting import FEATURE_MATRIX, feature_table
+
+
+def test_table1_feature_matrix(benchmark, results_dir):
+    table = benchmark(feature_table)
+    emit(results_dir, "table1_features", table)
+
+    # Paper claims: Bifrost is the only system with every feature.
+    assert all(FEATURE_MATRIX["Bifrost"].values())
+    for system, features in FEATURE_MATRIX.items():
+        if system != "Bifrost":
+            assert not all(features.values()), f"{system} should lack a feature"

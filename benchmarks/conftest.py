@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (see DESIGN.md §4 for the index).  Each bench:
+
+* computes the paper's rows/series from the simulator,
+* prints them (visible with ``pytest benchmarks/ --benchmark-only -s``),
+* writes them to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md,
+* asserts the *shape* bands recorded in EXPERIMENTS.md, and
+* times the whole harness through the ``benchmark`` fixture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    print()
+    print(f"=== {name} ===")
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

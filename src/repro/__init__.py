@@ -1,0 +1,30 @@
+"""repro: a from-scratch reproduction of Bifrost (ISPASS 2022).
+
+Bifrost connects the STONNE cycle-level simulator for reconfigurable DNN
+accelerators to a TVM-style compiler stack and adds automatic mapping
+optimization.  This package implements every substrate in Python:
+
+* :mod:`repro.ir`, :mod:`repro.topi`, :mod:`repro.frontends`,
+  :mod:`repro.runtime` -- the mini deep-learning compiler (TVM stand-in);
+* :mod:`repro.stonne` -- the cycle-level simulator (MAERI, SIGMA, TPU);
+* :mod:`repro.tuner` -- the auto-tuning module (AutoTVM stand-in);
+* :mod:`repro.mrna` -- the specialized analytical mapper for MAERI;
+* :mod:`repro.bifrost` -- Bifrost itself, gluing the pieces together;
+* :mod:`repro.models` -- the model zoo (AlexNet et al.).
+
+Quickstart::
+
+    import numpy as np
+    from repro.bifrost import architecture, make_session, run_graph
+    from repro.models import lenet_graph
+
+    architecture.maeri()
+    config = architecture.create_config_file()
+    session = make_session(config, mapping_strategy="mrna")
+    result = run_graph(lenet_graph(), {"data": np.zeros((1, 1, 28, 28))}, session)
+    print(result.total_cycles)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,71 @@
+"""Bifrost: end-to-end evaluation and optimization of reconfigurable DNN
+accelerators (the paper's core contribution).
+
+Typical use, mirroring Listing 1::
+
+    from repro.bifrost import architecture, make_session, run_torch_stonne
+
+    architecture.maeri()
+    architecture.ms_size = 128
+    config = architecture.create_config_file()
+
+    session = make_session(config, mapping_strategy="tuned")
+    result = run_torch_stonne(model, input_batch, session)
+    print(result.total_cycles)
+"""
+
+from repro.bifrost.api import (
+    StonneBifrostApi,
+    get_packed_func,
+    register_packed_funcs,
+    registered_packed_funcs,
+)
+from repro.bifrost.architecture import Architecture, architecture
+from repro.bifrost.configurator import SimulatorConfigurator
+from repro.bifrost.mapping_config import MappingConfigurator, MappingStrategy
+from repro.bifrost.reporting import (
+    FEATURE_MATRIX,
+    LayerComparison,
+    comparison_table,
+    feature_table,
+    stats_table,
+    stats_to_json,
+)
+from repro.bifrost.runner import (
+    BifrostRunResult,
+    make_session,
+    run_graph,
+    run_layers,
+    run_torch_stonne,
+)
+from repro.bifrost.strategies import (
+    active_session,
+    install_session,
+    uninstall_session,
+)
+
+__all__ = [
+    "Architecture",
+    "BifrostRunResult",
+    "FEATURE_MATRIX",
+    "LayerComparison",
+    "MappingConfigurator",
+    "MappingStrategy",
+    "SimulatorConfigurator",
+    "StonneBifrostApi",
+    "active_session",
+    "architecture",
+    "comparison_table",
+    "feature_table",
+    "get_packed_func",
+    "install_session",
+    "make_session",
+    "register_packed_funcs",
+    "registered_packed_funcs",
+    "run_graph",
+    "run_layers",
+    "run_torch_stonne",
+    "stats_table",
+    "stats_to_json",
+    "uninstall_session",
+]

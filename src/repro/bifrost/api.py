@@ -1,0 +1,241 @@
+"""The STONNE-Bifrost API (§V): packed functions that offload layers.
+
+Each entry point follows the seven-step execution workflow the paper
+lists:
+
+1. parse layer information;
+2. transform layer information and input data into a STONNE-compatible
+   format (layout transposes, run on the CPU and *not* counted in the
+   cycle totals);
+3. create a new STONNE instance;
+4. configure it with the architecture and dataflow mapping;
+5. load the layer and run;
+6. transform the output back into the caller's format;
+7. record the simulated cycle count and/or partial sums.
+
+The functions are registered in a global registry under TVM-style names
+(``tvm.contrib.stonne.conv2d.nchw`` etc.), which is how the TOPI
+strategies reach them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.bifrost.mapping_config import MappingConfigurator
+from repro.errors import LayerError, SimulationError
+from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.layer import ConvLayer, FcLayer
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+from repro.stonne.simulator import Stonne
+from repro.stonne.sparsity import prune_to_sparsity
+from repro.stonne.stats import SimulationStats
+from repro.topi.layout import (
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+    npqk_to_nkpq,
+    rsck_to_kcrs,
+)
+
+
+@dataclass
+class StonneBifrostApi:
+    """A configured offload endpoint: architecture + mappings + stats.
+
+    One instance per Bifrost session; every offloaded layer appends its
+    :class:`~repro.stonne.stats.SimulationStats` to :attr:`stats`.
+    """
+
+    config: SimulatorConfig
+    mappings: MappingConfigurator
+    params: CycleModelParams = DEFAULT_PARAMS
+    stats: List[SimulationStats] = field(default_factory=list)
+    _layer_counter: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats.clear()
+        self._layer_counter.clear()
+
+    def total_cycles(self) -> int:
+        """Simulated cycles across every offloaded layer so far."""
+        return sum(s.cycles for s in self.stats)
+
+    def _layer_name(self, base: str) -> str:
+        count = self._layer_counter.get(base, 0)
+        self._layer_counter[base] = count + 1
+        return base if count == 0 else f"{base}#{count}"
+
+    def _maybe_prune(self, weights: np.ndarray) -> np.ndarray:
+        """Apply the configured sparsity to weights (sparse architectures)."""
+        sparse_controllers = (
+            ControllerType.SIGMA_SPARSE_GEMM,
+            ControllerType.MAGMA_SPARSE_DENSE,
+        )
+        if (
+            self.config.controller_type in sparse_controllers
+            and self.config.sparsity_ratio
+        ):
+            return prune_to_sparsity(weights, self.config.sparsity_ratio)
+        return weights
+
+    # ------------------------------------------------------------------
+    # conv2d
+    # ------------------------------------------------------------------
+    def conv2d_nchw(
+        self,
+        data: np.ndarray,
+        weights: np.ndarray,
+        strides=(1, 1),
+        padding=(0, 0),
+        groups: int = 1,
+        layer_name: str = "conv2d",
+    ) -> np.ndarray:
+        """Execute an NCHW/KCRS convolution on the simulated accelerator.
+
+        For MAERI — which only consumes NHWC/RSCK (§V-B1) — the inputs are
+        transposed on the CPU first and the NPQK output transposed back to
+        NKPQ, exactly the execution path the paper describes.
+        """
+        if data.ndim != 4 or weights.ndim != 4:
+            raise LayerError(
+                f"conv2d expects 4-D tensors, got {data.shape} and {weights.shape}"
+            )
+        n, c, h, w = data.shape
+        k, c_per_g, r, s = weights.shape
+        layer = ConvLayer(
+            name=self._layer_name(layer_name),
+            C=c, H=h, W=w, K=k, R=r, S=s,
+            stride_h=int(strides[0]), stride_w=int(strides[1]),
+            pad_h=int(padding[0]), pad_w=int(padding[1]),
+            G=groups, N=n,
+        )
+        if c_per_g != c // groups:
+            raise LayerError(
+                f"weight channels {c_per_g} != C/groups = {c // groups}"
+            )
+        weights = self._maybe_prune(weights)
+
+        if self.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
+            # Steps i-ii: transpose NCHW -> NHWC and KCRS -> RSCK on the CPU.
+            nhwc = nchw_to_nhwc(np.asarray(data, dtype=np.float64))
+            rsck = np.ascontiguousarray(
+                np.asarray(weights, dtype=np.float64).transpose(2, 3, 1, 0)
+            )
+            # Step iii-v: new simulator instance, configure, run.
+            mapping = self.mappings.mapping_for(layer)
+            simulator = Stonne(self.config, self.params)
+            result = simulator.run_conv2d(
+                layer,
+                mapping=mapping,
+                data=nhwc_to_nchw(nhwc),          # functional path is NCHW
+                weights=rsck_to_kcrs(rsck),
+            )
+            assert result.output is not None
+            # Step vi: NPQK -> NKPQ back to the caller's layout.
+            output = npqk_to_nkpq(
+                np.ascontiguousarray(result.output.transpose(0, 2, 3, 1))
+            )
+        else:
+            simulator = Stonne(self.config, self.params)
+            result = simulator.run_conv2d(
+                layer,
+                data=np.asarray(data, dtype=np.float64),
+                weights=np.asarray(weights, dtype=np.float64),
+            )
+            assert result.output is not None
+            output = result.output
+
+        # Step vii: record the stats.
+        self.stats.append(result.stats)
+        return output
+
+    def conv2d_nhwc(
+        self,
+        data: np.ndarray,
+        weights: np.ndarray,
+        strides=(1, 1),
+        padding=(0, 0),
+        groups: int = 1,
+        layer_name: str = "conv2d",
+    ) -> np.ndarray:
+        """Execute an NHWC/RSCK convolution (MAERI's native layout)."""
+        if data.ndim != 4 or weights.ndim != 4:
+            raise LayerError(
+                f"conv2d expects 4-D tensors, got {data.shape} and {weights.shape}"
+            )
+        nchw = nhwc_to_nchw(np.asarray(data, dtype=np.float64))
+        kcrs = rsck_to_kcrs(np.asarray(weights, dtype=np.float64))
+        out_nchw = self.conv2d_nchw(
+            nchw, kcrs, strides=strides, padding=padding, groups=groups,
+            layer_name=layer_name,
+        )
+        return nchw_to_nhwc(out_nchw)
+
+    # ------------------------------------------------------------------
+    # dense
+    # ------------------------------------------------------------------
+    def dense(
+        self,
+        data: np.ndarray,
+        weights: np.ndarray,
+        layer_name: str = "dense",
+    ) -> np.ndarray:
+        """Execute a dense layer (GEMM on every architecture, §V-A)."""
+        if data.ndim != 2 or weights.ndim != 2:
+            raise LayerError(
+                f"dense expects 2-D tensors, got {data.shape} and {weights.shape}"
+            )
+        if data.shape[0] != 1:
+            raise SimulationError(
+                f"STONNE supports batch 1 only, got batch {data.shape[0]}"
+            )
+        layer = FcLayer(
+            name=self._layer_name(layer_name),
+            in_features=data.shape[1],
+            out_features=weights.shape[0],
+            batch=data.shape[0],
+        )
+        weights = self._maybe_prune(np.asarray(weights, dtype=np.float64))
+        simulator = Stonne(self.config, self.params)
+        if self.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
+            mapping = self.mappings.mapping_for(layer)
+            result = simulator.run_dense(
+                layer, mapping=mapping, data=data, weights=weights
+            )
+        else:
+            result = simulator.run_dense(layer, data=data, weights=weights)
+        assert result.output is not None
+        self.stats.append(result.stats)
+        return result.output
+
+
+# ----------------------------------------------------------------------
+# TVM-style global function registry
+# ----------------------------------------------------------------------
+_GLOBAL_FUNCS: Dict[str, Callable] = {}
+
+
+def register_packed_funcs(api: StonneBifrostApi) -> None:
+    """Expose an API instance under TVM's global function names."""
+    _GLOBAL_FUNCS["tvm.contrib.stonne.conv2d.nchw"] = api.conv2d_nchw
+    _GLOBAL_FUNCS["tvm.contrib.stonne.conv2d.nhwc"] = api.conv2d_nhwc
+    _GLOBAL_FUNCS["tvm.contrib.stonne.dense"] = api.dense
+
+
+def get_packed_func(name: str) -> Callable:
+    """Look up a registered packed function by its TVM-style name."""
+    try:
+        return _GLOBAL_FUNCS[name]
+    except KeyError:
+        raise SimulationError(
+            f"packed function {name!r} is not registered; call "
+            "register_packed_funcs first"
+        ) from None
+
+
+def registered_packed_funcs() -> List[str]:
+    return sorted(_GLOBAL_FUNCS)

@@ -1,0 +1,128 @@
+"""Mapping configurator: where each layer's dataflow mapping comes from.
+
+Bifrost supports four sources (§IV): a *manual* per-layer mapping, an
+auto-generated *default* (all tiles 1 — "execution using this mapping
+will be inefficient, but it makes it possible to quickly evaluate an
+architecture"), a *tuned* mapping from the AutoTVM module, or a mapping
+from a specialized tool (*mRNA*).  :class:`MappingConfigurator` resolves
+a layer to its mapping with per-layer overrides winning over the global
+strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Union
+
+from repro.errors import MappingError, TuningError
+from repro.mrna.mapper import MrnaMapper
+from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.layer import ConvLayer, FcLayer
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.tuner.measure import MaeriConvTask, MaeriFcTask
+from repro.tuner.tuners.xgb import XGBTuner
+
+Layer = Union[ConvLayer, FcLayer]
+Mapping = Union[ConvMapping, FcMapping]
+
+
+class MappingStrategy(str, Enum):
+    """How mappings are produced when no manual override exists."""
+
+    DEFAULT = "default"
+    TUNED = "tuned"
+    MRNA = "mrna"
+
+
+@dataclass
+class MappingConfigurator:
+    """Resolves layers to mappings; caches tuned/mRNA results.
+
+    Args:
+        config: The MAERI hardware configuration mappings must fit.
+        strategy: Fallback source when a layer has no manual mapping.
+        objective: Tuning objective for the TUNED strategy
+            ("psums" — the paper's choice — or "cycles").
+        tuner_trials: Measurement budget per layer for TUNED.
+        tuner_early_stopping: Early-stopping patience for TUNED.
+    """
+
+    config: SimulatorConfig
+    strategy: MappingStrategy = MappingStrategy.DEFAULT
+    objective: str = "psums"
+    tuner_trials: int = 400
+    tuner_early_stopping: int = 120
+    seed: int = 0
+    manual: Dict[str, Mapping] = field(default_factory=dict)
+    _cache: Dict[str, Mapping] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.strategy = MappingStrategy(self.strategy)
+
+    # ------------------------------------------------------------------
+    def set_manual(self, layer_name: str, mapping: Mapping) -> None:
+        """Pin a specific mapping for a layer (wins over the strategy)."""
+        self.manual[layer_name] = mapping
+
+    def mapping_for(self, layer: Layer) -> Mapping:
+        """The mapping this layer should run with."""
+        if layer.name in self.manual:
+            mapping = self.manual[layer.name]
+            self._check_kind(layer, mapping)
+            return mapping
+        if layer.name in self._cache:
+            return self._cache[layer.name]
+        mapping = self._generate(layer)
+        self._cache[layer.name] = mapping
+        return mapping
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_kind(layer: Layer, mapping: Mapping) -> None:
+        if isinstance(layer, ConvLayer) and not isinstance(mapping, ConvMapping):
+            raise MappingError(
+                f"layer {layer.name!r} is a convolution but the manual "
+                f"mapping is {type(mapping).__name__}"
+            )
+        if isinstance(layer, FcLayer) and not isinstance(mapping, FcMapping):
+            raise MappingError(
+                f"layer {layer.name!r} is fully connected but the manual "
+                f"mapping is {type(mapping).__name__}"
+            )
+
+    def _generate(self, layer: Layer) -> Mapping:
+        if self.config.controller_type is not ControllerType.MAERI_DENSE_WORKLOAD:
+            raise TuningError(
+                "mappings are only configurable for MAERI; SIGMA and the TPU "
+                "orchestrate their own dataflow"
+            )
+        if self.strategy is MappingStrategy.DEFAULT:
+            return (
+                ConvMapping.basic()
+                if isinstance(layer, ConvLayer)
+                else FcMapping.basic()
+            )
+        if self.strategy is MappingStrategy.MRNA:
+            mapper = MrnaMapper(self.config)
+            if isinstance(layer, ConvLayer):
+                return mapper.map_conv(layer)
+            return mapper.map_fc(layer)
+        return self._tune(layer)
+
+    def _tune(self, layer: Layer) -> Mapping:
+        """Run the AutoTVM module (GBT tuner, early stopping) on a layer."""
+        if isinstance(layer, ConvLayer):
+            task = MaeriConvTask(layer, self.config, objective=self.objective)
+        else:
+            task = MaeriFcTask(layer, self.config, objective=self.objective)
+        tuner = XGBTuner(task, seed=self.seed)
+        result = tuner.tune(
+            n_trials=self.tuner_trials,
+            early_stopping=self.tuner_early_stopping,
+        )
+        if result.best_config is None:
+            raise TuningError(
+                f"tuning found no valid mapping for layer {layer.name!r}"
+            )
+        return task.best_mapping(result.best_config)

@@ -1,0 +1,128 @@
+"""Reporting helpers: comparison tables and the Table I feature matrix."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.stonne.stats import SimulationStats
+
+#: Table I of the paper: tools x features.
+FEATURE_MATRIX: Dict[str, Dict[str, bool]] = {
+    "SMAUG": {
+        "model_support": False,
+        "easy_mapping_exploration": False,
+        "multiple_accelerators": True,
+        "sparsity_support": True,
+        "framework_integration": False,
+        "cycle_accurate": True,
+    },
+    "SCALE-Sim": {
+        "model_support": False,
+        "easy_mapping_exploration": False,
+        "multiple_accelerators": False,
+        "sparsity_support": False,
+        "framework_integration": False,
+        "cycle_accurate": True,
+    },
+    "SECDA": {
+        "model_support": False,
+        "easy_mapping_exploration": False,
+        "multiple_accelerators": False,
+        "sparsity_support": False,
+        "framework_integration": True,
+        "cycle_accurate": False,
+    },
+    "VTA": {
+        "model_support": True,
+        "easy_mapping_exploration": False,
+        "multiple_accelerators": False,
+        "sparsity_support": False,
+        "framework_integration": True,
+        "cycle_accurate": False,
+    },
+    "STONNE": {
+        "model_support": False,
+        "easy_mapping_exploration": False,
+        "multiple_accelerators": True,
+        "sparsity_support": True,
+        "framework_integration": False,
+        "cycle_accurate": True,
+    },
+    "Bifrost": {
+        "model_support": True,
+        "easy_mapping_exploration": True,
+        "multiple_accelerators": True,
+        "sparsity_support": True,
+        "framework_integration": True,
+        "cycle_accurate": True,
+    },
+}
+
+FEATURE_LABELS = {
+    "model_support": "Model support",
+    "easy_mapping_exploration": "Easy mapping exploration",
+    "multiple_accelerators": "Multiple accelerators",
+    "sparsity_support": "Sparsity support",
+    "framework_integration": "DNN framework integration",
+    "cycle_accurate": "Cycle-accurate simulation",
+}
+
+
+def feature_table() -> str:
+    """Render Table I as aligned text."""
+    systems = list(FEATURE_MATRIX)
+    width = max(len(label) for label in FEATURE_LABELS.values())
+    header = " " * (width + 2) + "  ".join(f"{s:>9}" for s in systems)
+    lines = [header]
+    for key, label in FEATURE_LABELS.items():
+        cells = "  ".join(
+            f"{'yes' if FEATURE_MATRIX[s][key] else 'no':>9}" for s in systems
+        )
+        lines.append(f"{label:<{width}}  {cells}")
+    return "\n".join(lines)
+
+
+@dataclass
+class LayerComparison:
+    """Cycle comparison of several mapping sources for one layer."""
+
+    layer: str
+    cycles: Dict[str, int]
+
+    def speedup(self, baseline: str, candidate: str) -> float:
+        return self.cycles[baseline] / self.cycles[candidate]
+
+
+def comparison_table(
+    rows: Sequence[LayerComparison], columns: Sequence[str]
+) -> str:
+    """Render a layers x mapping-sources cycle table as aligned text."""
+    header = f"{'layer':<10}" + "".join(f"{c:>16}" for c in columns)
+    lines = [header]
+    for row in rows:
+        cells = "".join(f"{row.cycles[c]:>16,}" for c in columns)
+        lines.append(f"{row.layer:<10}{cells}")
+    return "\n".join(lines)
+
+
+def stats_table(stats: Sequence[SimulationStats]) -> str:
+    """Per-layer cycles/psums/utilization table."""
+    header = (
+        f"{'layer':<12}{'cycles':>14}{'psums':>14}{'macs':>14}{'util':>8}"
+    )
+    lines = [header]
+    for s in stats:
+        lines.append(
+            f"{s.layer_name:<12}{s.cycles:>14,}{s.psums:>14,}"
+            f"{s.macs:>14,}{s.utilization:>8.1%}"
+        )
+    total_cycles = sum(s.cycles for s in stats)
+    lines.append(f"{'total':<12}{total_cycles:>14,}")
+    return "\n".join(lines)
+
+
+def stats_to_json(stats: Sequence[SimulationStats]) -> str:
+    """Machine-readable per-layer dump."""
+    return json.dumps([s.to_dict() for s in stats], indent=2)

@@ -1,0 +1,150 @@
+"""End-to-end runners: the ``run_torch_stonne``-style entry points.
+
+This is the surface Listing 1 shows: hand Bifrost a model and an input,
+get the model output back, with conv2d/dense layers transparently executed
+on the simulated accelerator and everything else on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.bifrost.api import StonneBifrostApi
+from repro.bifrost.mapping_config import MappingConfigurator, MappingStrategy
+from repro.bifrost.strategies import install_session, uninstall_session
+from repro.ir.graph import Graph
+from repro.runtime.executor import GraphExecutor, make_offload_policy
+from repro.stonne.config import SimulatorConfig
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+from repro.stonne.stats import SimulationStats, combine_stats
+
+
+@dataclass
+class BifrostRunResult:
+    """Model output plus the per-layer simulation statistics."""
+
+    outputs: List[np.ndarray]
+    layer_stats: List[SimulationStats]
+
+    @property
+    def output(self) -> np.ndarray:
+        return self.outputs[0]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(s.cycles for s in self.layer_stats)
+
+    @property
+    def total_psums(self) -> int:
+        return sum(s.psums for s in self.layer_stats)
+
+    def combined(self, name: str = "model") -> SimulationStats:
+        return combine_stats(name, self.layer_stats)
+
+
+def make_session(
+    config: SimulatorConfig,
+    mapping_strategy: Union[MappingStrategy, str] = MappingStrategy.DEFAULT,
+    objective: str = "psums",
+    params: CycleModelParams = DEFAULT_PARAMS,
+    tuner_trials: int = 400,
+    tuner_early_stopping: int = 120,
+) -> StonneBifrostApi:
+    """Build a Bifrost session: config + mapping configurator + stats."""
+    mappings = MappingConfigurator(
+        config=config,
+        strategy=MappingStrategy(mapping_strategy),
+        objective=objective,
+        tuner_trials=tuner_trials,
+        tuner_early_stopping=tuner_early_stopping,
+    )
+    return StonneBifrostApi(config=config, mappings=mappings, params=params)
+
+
+def _annotate_layer_names(graph: Graph) -> None:
+    """Give offloaded nodes their IR names so stats are attributable."""
+    for node in graph.op_nodes():
+        if node.op_name in ("conv2d", "dense"):
+            node.attrs.setdefault("layer_name", node.name)
+
+
+def run_graph(
+    graph: Graph,
+    feeds: Dict[str, np.ndarray],
+    session: StonneBifrostApi,
+) -> BifrostRunResult:
+    """Execute ``graph`` with conv2d/dense offloaded to ``session``.
+
+    The session is installed as the "stonne" target for the duration of
+    the call and uninstalled afterwards, so parallel CPU-only execution
+    elsewhere is unaffected.
+    """
+    _annotate_layer_names(graph)
+    session.reset_stats()
+    install_session(session)
+    try:
+        executor = GraphExecutor(graph, make_offload_policy("stonne"))
+        outputs = executor.run(feeds)
+    finally:
+        uninstall_session()
+    return BifrostRunResult(outputs=outputs, layer_stats=list(session.stats))
+
+
+def run_torch_stonne(
+    model,
+    input_batch: np.ndarray,
+    session: StonneBifrostApi,
+    input_shape: Optional[Tuple[int, ...]] = None,
+) -> BifrostRunResult:
+    """Listing 1's entry point: run a torch-like model on STONNE.
+
+    ``model`` is a :mod:`repro.frontends.torchlike` module tree; the
+    input batch's shape is used unless ``input_shape`` overrides it.
+    """
+    from repro.frontends.torchlike import from_torchlike
+
+    shape = tuple(input_shape or np.asarray(input_batch).shape)
+    graph = from_torchlike(model, shape)
+    first_input = graph.nodes[graph.input_ids[0]].name
+    return run_graph(graph, {first_input: np.asarray(input_batch)}, session)
+
+
+def run_layers(
+    layers,
+    session: StonneBifrostApi,
+) -> List[SimulationStats]:
+    """Simulate bare layer descriptors (no tensors), for benchmarking.
+
+    Accepts :class:`~repro.stonne.layer.ConvLayer` /
+    :class:`~repro.stonne.layer.FcLayer` descriptors and returns one
+    stats record per layer, honouring the session's mapping strategy.
+    """
+    from repro.stonne.layer import ConvLayer, FcLayer
+    from repro.stonne.simulator import Stonne
+    from repro.stonne.config import ControllerType
+
+    results: List[SimulationStats] = []
+    for layer in layers:
+        simulator = Stonne(session.config, session.params)
+        if isinstance(layer, ConvLayer):
+            if session.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
+                mapping = session.mappings.mapping_for(layer)
+                stats = simulator.run_conv2d(layer, mapping=mapping).stats
+            else:
+                stats = simulator.run_conv2d(layer).stats
+        elif isinstance(layer, FcLayer):
+            if session.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
+                mapping = session.mappings.mapping_for(layer)
+                stats = simulator.run_dense(layer, mapping=mapping).stats
+            else:
+                stats = simulator.run_dense(layer).stats
+        else:
+            raise TypeError(
+                f"run_layers expects ConvLayer/FcLayer, got {type(layer).__name__}"
+            )
+        results.append(stats)
+    session.stats.extend(results)
+    return results

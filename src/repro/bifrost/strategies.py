@@ -1,0 +1,72 @@
+"""Bifrost TOPI strategies: the bridge between the IR and STONNE.
+
+These register "stonne"-target implementations of ``conv2d`` and
+``dense`` in the operator strategy registry, "passing all relevant layer
+information to the STONNE-Bifrost API" (§IV).  Installing a session makes
+the graph executor's offload policy route those two ops to the simulator
+while everything else runs on the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bifrost.api import StonneBifrostApi, register_packed_funcs
+from repro.errors import SimulationError
+from repro.topi.registry import register_op, unregister_op
+
+#: The session currently bound to the "stonne" target, if any.
+_ACTIVE_SESSION: Optional[StonneBifrostApi] = None
+
+
+def active_session() -> Optional[StonneBifrostApi]:
+    return _ACTIVE_SESSION
+
+
+def install_session(api: StonneBifrostApi) -> None:
+    """Bind ``api`` as the stonne target (replacing any previous one)."""
+    global _ACTIVE_SESSION
+    uninstall_session()
+    _ACTIVE_SESSION = api
+    register_packed_funcs(api)
+
+    @register_op("conv2d", "stonne")
+    def _conv2d_stonne(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        session = _require_session()
+        layout = attrs.get("data_layout", "NCHW")
+        kwargs = dict(
+            strides=tuple(attrs.get("strides", (1, 1))),
+            padding=tuple(attrs.get("padding", (0, 0))),
+            groups=attrs.get("groups", 1),
+            layer_name=attrs.get("layer_name", "conv2d"),
+        )
+        if tuple(attrs.get("dilation", (1, 1))) != (1, 1):
+            raise SimulationError("STONNE does not support dilated convolutions")
+        if layout == "NCHW":
+            return session.conv2d_nchw(inputs[0], inputs[1], **kwargs)
+        return session.conv2d_nhwc(inputs[0], inputs[1], **kwargs)
+
+    @register_op("dense", "stonne")
+    def _dense_stonne(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        session = _require_session()
+        return session.dense(
+            inputs[0], inputs[1], layer_name=attrs.get("layer_name", "dense")
+        )
+
+
+def uninstall_session() -> None:
+    """Remove the stonne target registrations (test isolation)."""
+    global _ACTIVE_SESSION
+    _ACTIVE_SESSION = None
+    unregister_op("conv2d", "stonne")
+    unregister_op("dense", "stonne")
+
+
+def _require_session() -> StonneBifrostApi:
+    if _ACTIVE_SESSION is None:
+        raise SimulationError(
+            "no Bifrost session installed; call install_session first"
+        )
+    return _ACTIVE_SESSION

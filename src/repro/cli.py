@@ -1,0 +1,240 @@
+"""Command-line interface: the Bifrost workflow without writing Python.
+
+Subcommands:
+
+* ``features`` — print the Table I feature matrix;
+* ``run`` — simulate a zoo model end to end on an architecture and print
+  per-layer cycles (and optionally energy);
+* ``tune`` — tune one layer's mapping with a chosen tuner/objective;
+* ``compare`` — default vs AutoTVM vs mRNA mappings for a zoo model's
+  accelerated layers (the Figure 12 view).
+
+Entry point: ``python -m repro.cli <subcommand> ...`` (argument lists are
+plain data, so the test suite drives :func:`main` directly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+MODELS = ("alexnet", "lenet", "vgg_small", "mlp")
+ARCHITECTURES = ("maeri", "sigma", "tpu", "magma")
+
+
+def _zoo_layers(model: str):
+    from repro import models as zoo
+
+    if model == "alexnet":
+        return zoo.alexnet_conv_layers() + zoo.alexnet_fc_layers()
+    if model == "lenet":
+        return zoo.lenet_conv_layers() + zoo.lenet_fc_layers()
+    if model == "vgg_small":
+        return zoo.vgg_small_conv_layers() + zoo.vgg_small_fc_layers()
+    if model == "mlp":
+        return zoo.mlp_fc_layers()
+    raise ReproError(f"unknown model {model!r}; expected one of {MODELS}")
+
+
+def _build_config(args):
+    from repro.bifrost import Architecture
+
+    arch = Architecture()
+    if args.arch == "maeri":
+        arch.maeri()
+        arch.ms_size = args.ms_size
+        arch.dn_bw = args.dn_bw
+        arch.rn_bw = args.rn_bw
+    elif args.arch == "sigma":
+        arch.sigma(args.sparsity)
+        arch.ms_size = args.ms_size
+        arch.dn_bw = args.dn_bw
+        arch.rn_bw = args.rn_bw
+    elif args.arch == "magma":
+        arch.magma(args.sparsity)
+        arch.ms_size = args.ms_size
+        arch.dn_bw = args.dn_bw
+        arch.rn_bw = args.rn_bw
+    else:
+        arch.tpu(args.ms_rows, args.ms_cols)
+    config = arch.create_config_file()
+    for correction in arch.corrections:
+        print(f"note: {correction}")
+    return config
+
+
+def _add_hw_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=ARCHITECTURES, default="maeri")
+    parser.add_argument("--ms-size", type=int, default=128, dest="ms_size")
+    parser.add_argument("--dn-bw", type=int, default=64, dest="dn_bw")
+    parser.add_argument("--rn-bw", type=int, default=16, dest="rn_bw")
+    parser.add_argument("--ms-rows", type=int, default=16, dest="ms_rows")
+    parser.add_argument("--ms-cols", type=int, default=16, dest="ms_cols")
+    parser.add_argument("--sparsity", type=int, default=0)
+
+
+def _cmd_features(args) -> int:
+    from repro.bifrost.reporting import feature_table
+
+    print(feature_table())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.bifrost import make_session, run_layers
+    from repro.bifrost.reporting import stats_table
+    from repro.stonne.energy import attach_energy
+
+    config = _build_config(args)
+    strategy = args.mapping if args.arch == "maeri" else "default"
+    session = make_session(config, mapping_strategy=strategy)
+    stats = run_layers(_zoo_layers(args.model), session)
+    print(stats_table(stats))
+    if args.energy:
+        total = sum(attach_energy(s).energy for s in stats)
+        print(f"total energy: {total:,.0f} MAC-units")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.stonne.layer import ConvLayer
+    from repro.tuner import (
+        GATuner,
+        GridSearchTuner,
+        MaeriConvTask,
+        MaeriFcTask,
+        RandomTuner,
+        XGBTuner,
+    )
+
+    config = _build_config(args)
+    layers = {layer.name: layer for layer in _zoo_layers(args.model)}
+    if args.layer not in layers:
+        print(f"error: model {args.model!r} has no layer {args.layer!r}; "
+              f"choose from {sorted(layers)}", file=sys.stderr)
+        return 2
+    layer = layers[args.layer]
+    if isinstance(layer, ConvLayer):
+        task = MaeriConvTask(layer, config, objective=args.objective)
+    else:
+        task = MaeriFcTask(layer, config, objective=args.objective)
+    tuners = {
+        "grid": GridSearchTuner,
+        "random": RandomTuner,
+        "ga": GATuner,
+        "xgb": XGBTuner,
+    }
+    tuner = tuners[args.tuner](task, seed=args.seed)
+    result = tuner.tune(n_trials=args.trials, early_stopping=args.early_stopping)
+    if result.best_config is None:
+        print("error: no valid mapping found", file=sys.stderr)
+        return 1
+    mapping = task.best_mapping(result.best_config)
+    print(f"explored {result.num_trials} configs"
+          f"{' (early stop)' if result.stopped_early else ''}")
+    print(f"best mapping: {mapping.as_tuple()}")
+    print(f"best {args.objective}: {result.best_cost:,.0f}")
+    if args.log:
+        result.records.save_jsonl(args.log)
+        print(f"tuning log written to {args.log}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.bifrost.reporting import LayerComparison, comparison_table
+    from repro.mrna import MrnaMapper
+    from repro.stonne.layer import ConvLayer
+    from repro.stonne.maeri import MaeriController
+    from repro.stonne.mapping import ConvMapping, FcMapping
+    from repro.tuner import GridSearchTuner, MaeriConvTask, MaeriFcTask
+
+    config = _build_config(args)
+    controller = MaeriController(config)
+    mapper = MrnaMapper(config)
+    rows: List[LayerComparison] = []
+    for layer in _zoo_layers(args.model):
+        is_conv = isinstance(layer, ConvLayer)
+        if is_conv:
+            task = MaeriConvTask(layer, config, objective="psums",
+                                 max_options_per_tile=4)
+        else:
+            task = MaeriFcTask(layer, config, objective="psums")
+        tuned = task.best_mapping(
+            GridSearchTuner(task).tune(n_trials=10 ** 9).best_config
+        )
+        mrna = mapper.map_conv(layer) if is_conv else mapper.map_fc(layer)
+        basic = ConvMapping.basic() if is_conv else FcMapping.basic()
+        run = controller.run_conv if is_conv else controller.run_fc
+        rows.append(
+            LayerComparison(
+                layer.name,
+                {
+                    "default": run(layer, basic).cycles,
+                    "AutoTVM": run(layer, tuned).cycles,
+                    "mRNA": run(layer, mrna).cycles,
+                },
+            )
+        )
+    print(comparison_table(rows, ["default", "AutoTVM", "mRNA"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Bifrost reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("features", help="print the Table I feature matrix")
+
+    run = sub.add_parser("run", help="simulate a zoo model end to end")
+    run.add_argument("model", choices=MODELS)
+    _add_hw_args(run)
+    run.add_argument("--mapping", choices=("default", "tuned", "mrna"),
+                     default="mrna")
+    run.add_argument("--energy", action="store_true",
+                     help="also report total energy")
+
+    tune = sub.add_parser("tune", help="tune one layer's mapping (MAERI)")
+    tune.add_argument("model", choices=MODELS)
+    tune.add_argument("layer", help="layer name, e.g. conv3 or fc1")
+    _add_hw_args(tune)
+    tune.add_argument("--objective", choices=("cycles", "psums", "energy"),
+                      default="psums")
+    tune.add_argument("--tuner", choices=("grid", "random", "ga", "xgb"),
+                      default="xgb")
+    tune.add_argument("--trials", type=int, default=400)
+    tune.add_argument("--early-stopping", type=int, default=120,
+                      dest="early_stopping")
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--log", help="write the tuning history as JSONL")
+
+    compare = sub.add_parser(
+        "compare", help="default vs AutoTVM vs mRNA mappings (MAERI)"
+    )
+    compare.add_argument("model", choices=MODELS)
+    _add_hw_args(compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "features": _cmd_features,
+        "run": _cmd_run,
+        "tune": _cmd_tune,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass available;
+error messages always name the offending value so configuration mistakes are
+diagnosable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid hardware configuration was supplied.
+
+    Raised by the simulator configurator when a configuration violates the
+    rules in Table III of the paper (e.g. a non-power-of-two ``ms_size`` or
+    an ``OS_MESH`` network on a MAERI controller).
+    """
+
+
+class MappingError(ReproError):
+    """An invalid dataflow mapping (tile configuration) was supplied."""
+
+
+class LayerError(ReproError):
+    """A layer descriptor is malformed (e.g. negative dimensions)."""
+
+
+class UnsupportedLayerError(LayerError):
+    """The requested layer type is not supported by the chosen accelerator."""
+
+
+class GraphError(ReproError):
+    """The IR graph is structurally invalid (cycles, dangling inputs...)."""
+
+
+class ShapeInferenceError(GraphError):
+    """Shape inference failed for a node in the IR graph."""
+
+
+class FrontendError(ReproError):
+    """A model could not be parsed by a frontend importer."""
+
+
+class TuningError(ReproError):
+    """The auto-tuning module failed (empty space, no valid configs...)."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation entered an inconsistent state."""

@@ -1,0 +1,20 @@
+"""Model frontends: import models from multiple framework dialects.
+
+Bifrost's headline usability win over raw STONNE is that "the user
+provides a DNN model from any deep learning framework supported by TVM";
+these importers reproduce that property for four model-description
+dialects (native layer lists, torch-like module trees, ONNX-like graphs,
+Keras-like configs), all landing in the same IR.
+"""
+
+from repro.frontends.keraslike import from_keraslike
+from repro.frontends.native import from_native
+from repro.frontends.onnxlike import from_onnxlike
+from repro.frontends.torchlike import from_torchlike
+
+__all__ = [
+    "from_keraslike",
+    "from_native",
+    "from_onnxlike",
+    "from_torchlike",
+]

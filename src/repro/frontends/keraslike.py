@@ -1,0 +1,130 @@
+"""Keras-like frontend: imports a ``model.get_config()``-style dict.
+
+The schema mirrors what ``tf.keras.Sequential.get_config()`` produces:
+``{"class_name": "Sequential", "config": {"layers": [...]}}`` with layer
+entries like ``{"class_name": "Conv2D", "config": {...}}``.  Keras is
+channels-last (NHWC); the importer converts to the IR's NCHW internally —
+the same layout bridging TVM's Keras frontend performs — so imported
+models compose with the NCHW operator inventory and the NHWC path of the
+STONNE-Bifrost API can be tested against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import FrontendError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+
+def _pair(value, name: str) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    pair = tuple(int(v) for v in value)
+    if len(pair) != 2:
+        raise FrontendError(f"{name} must be an int or pair, got {value!r}")
+    return pair
+
+
+def _padding_for(cfg: Dict, kernel: Tuple[int, int]) -> Tuple[int, int]:
+    mode = cfg.get("padding", "valid")
+    if mode == "valid":
+        return (0, 0)
+    if mode == "same":
+        if kernel[0] % 2 == 0 or kernel[1] % 2 == 0:
+            raise FrontendError(
+                f"'same' padding needs odd kernels, got {kernel}"
+            )
+        return (kernel[0] // 2, kernel[1] // 2)
+    raise FrontendError(f"unsupported Keras padding mode {mode!r}")
+
+
+def from_keraslike(model: Dict) -> Graph:
+    """Import a Keras-like Sequential config into a finalized IR graph."""
+    if model.get("class_name") != "Sequential":
+        raise FrontendError(
+            f"only Sequential models supported, got {model.get('class_name')!r}"
+        )
+    layers = model.get("config", {}).get("layers", [])
+    if not layers:
+        raise FrontendError("keras-like model has no layers")
+
+    first_cfg = layers[0].get("config", {})
+    shape = first_cfg.get("batch_input_shape")
+    if shape is None:
+        raise FrontendError("first layer must declare batch_input_shape")
+    if len(shape) == 4:
+        n, h, w, c = (1 if shape[0] is None else int(shape[0]),
+                      int(shape[1]), int(shape[2]), int(shape[3]))
+        input_shape: Tuple[int, ...] = (n, c, h, w)  # NHWC -> NCHW
+    elif len(shape) == 2:
+        input_shape = (1 if shape[0] is None else int(shape[0]), int(shape[1]))
+    else:
+        raise FrontendError(f"unsupported batch_input_shape {shape!r}")
+
+    builder = GraphBuilder(
+        model.get("config", {}).get("name", "keras_model"), input_shape
+    )
+
+    def maybe_activation(cfg: Dict) -> None:
+        activation = cfg.get("activation", "linear")
+        if activation in ("linear", None):
+            return
+        if activation == "relu":
+            builder.relu()
+        elif activation == "softmax":
+            builder.softmax()
+        else:
+            raise FrontendError(f"unsupported Keras activation {activation!r}")
+
+    for entry in layers:
+        class_name = entry.get("class_name")
+        cfg = entry.get("config", {})
+        if class_name == "Conv2D":
+            kernel = _pair(cfg.get("kernel_size", 3), "kernel_size")
+            builder.conv2d(
+                channels=int(cfg["filters"]),
+                kernel_size=kernel,
+                strides=_pair(cfg.get("strides", 1), "strides"),
+                padding=_padding_for(cfg, kernel),
+                bias=bool(cfg.get("use_bias", True)),
+                name=cfg.get("name"),
+            )
+            maybe_activation(cfg)
+        elif class_name == "Dense":
+            builder.dense(
+                units=int(cfg["units"]),
+                bias=bool(cfg.get("use_bias", True)),
+                name=cfg.get("name"),
+            )
+            maybe_activation(cfg)
+        elif class_name == "MaxPooling2D":
+            pool = _pair(cfg.get("pool_size", 2), "pool_size")
+            builder.max_pool2d(
+                pool_size=pool,
+                strides=_pair(cfg.get("strides", pool), "strides"),
+            )
+        elif class_name == "AveragePooling2D":
+            pool = _pair(cfg.get("pool_size", 2), "pool_size")
+            builder.avg_pool2d(
+                pool_size=pool,
+                strides=_pair(cfg.get("strides", pool), "strides"),
+            )
+        elif class_name == "GlobalAveragePooling2D":
+            builder.adaptive_avg_pool2d((1, 1)).flatten()
+        elif class_name == "Flatten":
+            builder.flatten()
+        elif class_name == "Dropout":
+            builder.dropout()
+        elif class_name == "ReLU":
+            builder.relu()
+        elif class_name == "Softmax":
+            builder.softmax()
+        elif class_name == "BatchNormalization":
+            builder.batch_norm(name=cfg.get("name"))
+        elif class_name == "InputLayer":
+            continue
+        else:
+            raise FrontendError(f"unsupported Keras layer {class_name!r}")
+    return builder.build()

@@ -1,0 +1,144 @@
+"""Native frontend: a declarative layer-list model format.
+
+The simplest way to hand a model to Bifrost — a list of layer dicts::
+
+    spec = {
+        "name": "tiny",
+        "input_shape": [1, 3, 32, 32],
+        "layers": [
+            {"op": "conv2d", "channels": 8, "kernel_size": [3, 3]},
+            {"op": "relu"},
+            {"op": "flatten"},
+            {"op": "dense", "units": 10},
+        ],
+    }
+    graph = from_native(spec)
+
+Weights are generated deterministically unless the layer provides
+explicit ``weight``/``bias`` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import FrontendError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+
+def _pair(value, name: str) -> tuple:
+    if isinstance(value, int):
+        return (value, value)
+    pair = tuple(int(v) for v in value)
+    if len(pair) != 2:
+        raise FrontendError(f"{name} must be an int or a pair, got {value!r}")
+    return pair
+
+
+def from_native(spec: Dict) -> Graph:
+    """Parse a native layer-list spec into a finalized graph."""
+    if "input_shape" not in spec:
+        raise FrontendError("native spec needs an 'input_shape'")
+    layers = spec.get("layers")
+    if not layers:
+        raise FrontendError("native spec needs a non-empty 'layers' list")
+    builder = GraphBuilder(
+        spec.get("name", "native_model"), tuple(spec["input_shape"])
+    )
+    for index, layer in enumerate(layers):
+        if "op" not in layer:
+            raise FrontendError(f"layer {index} has no 'op' field: {layer!r}")
+        op = layer["op"]
+        if op == "conv2d":
+            builder.conv2d(
+                channels=int(layer["channels"]),
+                kernel_size=_pair(layer.get("kernel_size", 3), "kernel_size"),
+                strides=_pair(layer.get("strides", 1), "strides"),
+                padding=_pair(layer.get("padding", 0), "padding"),
+                groups=int(layer.get("groups", 1)),
+                bias=bool(layer.get("bias", True)),
+                name=layer.get("name"),
+            )
+        elif op == "dense":
+            builder.dense(
+                units=int(layer["units"]),
+                bias=bool(layer.get("bias", True)),
+                name=layer.get("name"),
+            )
+        elif op == "relu":
+            builder.relu()
+        elif op == "softmax":
+            builder.softmax()
+        elif op == "dropout":
+            builder.dropout()
+        elif op == "lrn":
+            builder.lrn(
+                size=int(layer.get("size", 5)),
+                alpha=float(layer.get("alpha", 1e-4)),
+                beta=float(layer.get("beta", 0.75)),
+                k=float(layer.get("k", 2.0)),
+            )
+        elif op == "batch_norm":
+            builder.batch_norm(name=layer.get("name"))
+        elif op == "max_pool2d":
+            builder.max_pool2d(
+                pool_size=_pair(layer.get("pool_size", 2), "pool_size"),
+                strides=_pair(layer.get("strides", 2), "strides"),
+                padding=_pair(layer.get("padding", 0), "padding"),
+            )
+        elif op == "avg_pool2d":
+            builder.avg_pool2d(
+                pool_size=_pair(layer.get("pool_size", 2), "pool_size"),
+                strides=_pair(layer.get("strides", 2), "strides"),
+                padding=_pair(layer.get("padding", 0), "padding"),
+            )
+        elif op == "adaptive_avg_pool2d":
+            builder.adaptive_avg_pool2d(
+                output_size=_pair(layer["output_size"], "output_size")
+            )
+        elif op == "flatten":
+            builder.flatten()
+        else:
+            raise FrontendError(f"layer {index}: unsupported op {op!r}")
+
+        # Optional explicit parameters override the generated ones.
+        if "weight" in layer or "bias_value" in layer:
+            _override_params(builder.graph, layer)
+    return builder.build()
+
+
+def _override_params(graph: Graph, layer: Dict) -> None:
+    """Replace the most recently created weight/bias constants."""
+    const_ids = sorted(graph.params)
+    if "weight" in layer:
+        weight = np.asarray(layer["weight"], dtype=np.float64)
+        target = None
+        for node_id in reversed(const_ids):
+            if graph.nodes[node_id].name.endswith(".weight"):
+                target = node_id
+                break
+        if target is None:
+            raise FrontendError("no weight constant to override")
+        if graph.params[target].shape != weight.shape:
+            raise FrontendError(
+                f"weight override shape {weight.shape} != "
+                f"{graph.params[target].shape}"
+            )
+        graph.params[target] = weight
+    if "bias_value" in layer:
+        bias = np.asarray(layer["bias_value"], dtype=np.float64)
+        target = None
+        for node_id in reversed(const_ids):
+            if graph.nodes[node_id].name.endswith(".bias"):
+                target = node_id
+                break
+        if target is None:
+            raise FrontendError("no bias constant to override")
+        if graph.params[target].shape != bias.shape:
+            raise FrontendError(
+                f"bias override shape {bias.shape} != {graph.params[target].shape}"
+            )
+        graph.params[target] = bias

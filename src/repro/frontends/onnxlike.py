@@ -1,0 +1,175 @@
+"""ONNX-like frontend: imports a node/initializer protobuf-style graph.
+
+The schema mirrors what ``onnx.ModelProto`` serializes to: a graph with
+``input`` value infos, ``initializer`` tensors and a list of ``node``
+entries, each with ``op_type``, named inputs/outputs and attributes.
+Unlike the sequential frontends this one resolves arbitrary DAG wiring by
+name, exercising the same importer machinery TVM's ONNX frontend uses.
+
+Supported op_types: Conv, Gemm, Relu, MaxPool, AveragePool,
+GlobalAveragePool, Flatten, Softmax, Dropout, Add, LRN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import FrontendError
+from repro.ir.graph import Graph
+from repro.ir.tensor_type import TensorType
+
+
+def _attr(node: Dict, name: str, default=None):
+    return node.get("attributes", {}).get(name, default)
+
+
+def _pair_attr(node: Dict, name: str, default) -> tuple:
+    value = _attr(node, name, default)
+    if isinstance(value, int):
+        return (value, value)
+    pair = tuple(int(v) for v in value)
+    if len(pair) == 4:  # ONNX pads: [top, left, bottom, right]
+        if pair[0] != pair[2] or pair[1] != pair[3]:
+            raise FrontendError(f"asymmetric {name} unsupported: {value}")
+        return (pair[0], pair[1])
+    if len(pair) != 2:
+        raise FrontendError(f"attribute {name} must have 2 values, got {value}")
+    return pair
+
+
+def from_onnxlike(model: Dict) -> Graph:
+    """Import an ONNX-like model dict into a finalized IR graph."""
+    try:
+        onnx_graph = model["graph"]
+        graph_inputs = onnx_graph["input"]
+        nodes = onnx_graph["node"]
+    except (KeyError, TypeError):
+        raise FrontendError(
+            "onnx-like model must have graph.input and graph.node"
+        ) from None
+
+    graph = Graph(model.get("name", onnx_graph.get("name", "onnx_model")))
+    env: Dict[str, int] = {}
+
+    for value_info in graph_inputs:
+        name = value_info["name"]
+        shape = tuple(int(d) for d in value_info["shape"])
+        env[name] = graph.add_input(name, TensorType(shape))
+
+    for init in onnx_graph.get("initializer", []):
+        name = init["name"]
+        value = np.asarray(init["data"], dtype=np.float64).reshape(
+            tuple(int(d) for d in init["shape"])
+        )
+        env[name] = graph.add_const(name, value)
+
+    def resolve(names: List[str]) -> List[int]:
+        refs = []
+        for name in names:
+            if name not in env:
+                raise FrontendError(f"node input {name!r} is not defined yet")
+            refs.append(env[name])
+        return refs
+
+    for node in nodes:
+        op_type = node.get("op_type")
+        inputs = node.get("input", [])
+        outputs = node.get("output", [])
+        if not outputs:
+            raise FrontendError(f"node {node!r} has no outputs")
+        out_name = outputs[0]
+        node_name = node.get("name", out_name)
+
+        if op_type == "Conv":
+            data, weight = resolve(inputs[:2])
+            conv = graph.add_op(
+                "conv2d",
+                [data, weight],
+                attrs={
+                    "strides": _pair_attr(node, "strides", 1),
+                    "padding": _pair_attr(node, "pads", 0),
+                    "dilation": _pair_attr(node, "dilations", 1),
+                    "groups": int(_attr(node, "group", 1)),
+                    "data_layout": "NCHW",
+                    "kernel_layout": "KCRS",
+                },
+                name=node_name,
+            )
+            if len(inputs) > 2:
+                (bias,) = resolve(inputs[2:3])
+                conv = graph.add_op(
+                    "bias_add", [conv, bias], attrs={"axis": 1},
+                    name=f"{node_name}.bias",
+                )
+            env[out_name] = conv
+        elif op_type == "Gemm":
+            if _attr(node, "transB", 1) != 1 or _attr(node, "transA", 0) != 0:
+                raise FrontendError("Gemm only supported with transA=0, transB=1")
+            data, weight = resolve(inputs[:2])
+            gemm = graph.add_op("dense", [data, weight], name=node_name)
+            if len(inputs) > 2:
+                (bias,) = resolve(inputs[2:3])
+                gemm = graph.add_op(
+                    "bias_add", [gemm, bias], attrs={"axis": -1},
+                    name=f"{node_name}.bias",
+                )
+            env[out_name] = gemm
+        elif op_type == "Relu":
+            env[out_name] = graph.add_op("relu", resolve(inputs[:1]), name=node_name)
+        elif op_type == "Softmax":
+            env[out_name] = graph.add_op(
+                "softmax", resolve(inputs[:1]),
+                attrs={"axis": int(_attr(node, "axis", -1))}, name=node_name,
+            )
+        elif op_type == "Dropout":
+            env[out_name] = graph.add_op(
+                "dropout", resolve(inputs[:1]), name=node_name
+            )
+        elif op_type in ("MaxPool", "AveragePool"):
+            op_name = "max_pool2d" if op_type == "MaxPool" else "avg_pool2d"
+            env[out_name] = graph.add_op(
+                op_name,
+                resolve(inputs[:1]),
+                attrs={
+                    "pool_size": _pair_attr(node, "kernel_shape", 2),
+                    "strides": _pair_attr(node, "strides", 2),
+                    "padding": _pair_attr(node, "pads", 0),
+                },
+                name=node_name,
+            )
+        elif op_type == "GlobalAveragePool":
+            env[out_name] = graph.add_op(
+                "adaptive_avg_pool2d",
+                resolve(inputs[:1]),
+                attrs={"output_size": (1, 1)},
+                name=node_name,
+            )
+        elif op_type == "Flatten":
+            env[out_name] = graph.add_op(
+                "flatten", resolve(inputs[:1]), name=node_name
+            )
+        elif op_type == "Add":
+            env[out_name] = graph.add_op("add", resolve(inputs[:2]), name=node_name)
+        elif op_type == "LRN":
+            env[out_name] = graph.add_op(
+                "lrn",
+                resolve(inputs[:1]),
+                attrs={
+                    "size": int(_attr(node, "size", 5)),
+                    "alpha": float(_attr(node, "alpha", 1e-4)),
+                    "beta": float(_attr(node, "beta", 0.75)),
+                    "k": float(_attr(node, "bias", 2.0)),
+                },
+                name=node_name,
+            )
+        else:
+            raise FrontendError(f"unsupported ONNX op_type {op_type!r}")
+
+    declared_outputs = onnx_graph.get("output")
+    if declared_outputs:
+        graph.set_outputs(resolve([o["name"] for o in declared_outputs]))
+    else:
+        graph.set_outputs([env[nodes[-1]["output"][0]]])
+    return graph.finalize()

@@ -1,0 +1,251 @@
+"""Torch-like frontend: imports a PyTorch-style module tree.
+
+PyTorch itself is unavailable offline, so this frontend consumes a
+faithful miniature of ``torch.nn``: module classes with the same names,
+constructor arguments and parameter conventions (``Conv2d`` weights are
+KCRS, ``Linear`` weights are ``(out, in)``), composed with
+``Sequential``.  Parsing walks the module tree exactly the way TVM's
+PyTorch importer walks a traced module, emitting IR nodes and capturing
+parameters as graph constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FrontendError
+from repro.ir.graph import Graph
+from repro.ir.tensor_type import TensorType
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+class Module:
+    """Base class of the torch-like module mini-framework."""
+
+    def children(self) -> List["Module"]:
+        return []
+
+
+@dataclass
+class Conv2d(Module):
+    """``torch.nn.Conv2d`` twin (NCHW / KCRS)."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: object
+    stride: object = 1
+    padding: object = 0
+    groups: int = 1
+    bias: bool = True
+    weight: Optional[np.ndarray] = None
+    bias_value: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        k = _pair(self.kernel_size)
+        if self.weight is None:
+            rng = np.random.default_rng(self.in_channels * 31 + self.out_channels)
+            self.weight = rng.normal(
+                0, 0.05, (self.out_channels, self.in_channels // self.groups, *k)
+            )
+        if self.bias and self.bias_value is None:
+            self.bias_value = np.zeros(self.out_channels)
+
+
+@dataclass
+class Linear(Module):
+    """``torch.nn.Linear`` twin (weight shape ``(out, in)``)."""
+
+    in_features: int
+    out_features: int
+    bias: bool = True
+    weight: Optional[np.ndarray] = None
+    bias_value: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.weight is None:
+            rng = np.random.default_rng(self.in_features * 17 + self.out_features)
+            self.weight = rng.normal(0, 0.05, (self.out_features, self.in_features))
+        if self.bias and self.bias_value is None:
+            self.bias_value = np.zeros(self.out_features)
+
+
+@dataclass
+class ReLU(Module):
+    inplace: bool = False
+
+
+@dataclass
+class Dropout(Module):
+    p: float = 0.5
+
+
+@dataclass
+class Softmax(Module):
+    dim: int = -1
+
+
+@dataclass
+class MaxPool2d(Module):
+    kernel_size: object = 2
+    stride: Optional[object] = None
+    padding: object = 0
+
+
+@dataclass
+class AvgPool2d(Module):
+    kernel_size: object = 2
+    stride: Optional[object] = None
+    padding: object = 0
+
+
+@dataclass
+class AdaptiveAvgPool2d(Module):
+    output_size: object = (1, 1)
+
+
+@dataclass
+class Flatten(Module):
+    start_dim: int = 1
+
+
+@dataclass
+class LocalResponseNorm(Module):
+    size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 2.0
+
+
+class Sequential(Module):
+    """``torch.nn.Sequential`` twin."""
+
+    def __init__(self, *modules: Module) -> None:
+        self._modules = list(modules)
+
+    def children(self) -> List[Module]:
+        return list(self._modules)
+
+
+def _flatten_modules(module: Module) -> List[Module]:
+    children = module.children()
+    if not children:
+        return [module]
+    flat: List[Module] = []
+    for child in children:
+        flat.extend(_flatten_modules(child))
+    return flat
+
+
+def from_torchlike(
+    model: Module, input_shape: Tuple[int, ...], name: str = "torch_model"
+) -> Graph:
+    """Import a torch-like module tree into a finalized IR graph."""
+    graph = Graph(name)
+    current = graph.add_input("data", TensorType(tuple(input_shape)))
+    index = 0
+    for module in _flatten_modules(model):
+        index += 1
+        if isinstance(module, Conv2d):
+            layer = f"conv{index}"
+            weight = graph.add_const(f"{layer}.weight", module.weight)
+            current = graph.add_op(
+                "conv2d",
+                [current, weight],
+                attrs={
+                    "strides": _pair(module.stride),
+                    "padding": _pair(module.padding),
+                    "dilation": (1, 1),
+                    "groups": module.groups,
+                    "data_layout": "NCHW",
+                    "kernel_layout": "KCRS",
+                },
+                name=layer,
+            )
+            if module.bias:
+                bias = graph.add_const(f"{layer}.bias", module.bias_value)
+                current = graph.add_op(
+                    "bias_add", [current, bias], attrs={"axis": 1},
+                    name=f"{layer}.bias_add",
+                )
+        elif isinstance(module, Linear):
+            layer = f"fc{index}"
+            weight = graph.add_const(f"{layer}.weight", module.weight)
+            current = graph.add_op("dense", [current, weight], name=layer)
+            if module.bias:
+                bias = graph.add_const(f"{layer}.bias", module.bias_value)
+                current = graph.add_op(
+                    "bias_add", [current, bias], attrs={"axis": -1},
+                    name=f"{layer}.bias_add",
+                )
+        elif isinstance(module, ReLU):
+            current = graph.add_op("relu", [current], name=f"relu{index}")
+        elif isinstance(module, Dropout):
+            current = graph.add_op("dropout", [current], name=f"dropout{index}")
+        elif isinstance(module, Softmax):
+            current = graph.add_op(
+                "softmax", [current], attrs={"axis": module.dim},
+                name=f"softmax{index}",
+            )
+        elif isinstance(module, MaxPool2d):
+            stride = module.stride if module.stride is not None else module.kernel_size
+            current = graph.add_op(
+                "max_pool2d",
+                [current],
+                attrs={
+                    "pool_size": _pair(module.kernel_size),
+                    "strides": _pair(stride),
+                    "padding": _pair(module.padding),
+                },
+                name=f"maxpool{index}",
+            )
+        elif isinstance(module, AvgPool2d):
+            stride = module.stride if module.stride is not None else module.kernel_size
+            current = graph.add_op(
+                "avg_pool2d",
+                [current],
+                attrs={
+                    "pool_size": _pair(module.kernel_size),
+                    "strides": _pair(stride),
+                    "padding": _pair(module.padding),
+                },
+                name=f"avgpool{index}",
+            )
+        elif isinstance(module, AdaptiveAvgPool2d):
+            current = graph.add_op(
+                "adaptive_avg_pool2d",
+                [current],
+                attrs={"output_size": _pair(module.output_size)},
+                name=f"adaptivepool{index}",
+            )
+        elif isinstance(module, Flatten):
+            if module.start_dim != 1:
+                raise FrontendError(
+                    f"Flatten(start_dim={module.start_dim}) unsupported; only 1"
+                )
+            current = graph.add_op("flatten", [current], name=f"flatten{index}")
+        elif isinstance(module, LocalResponseNorm):
+            current = graph.add_op(
+                "lrn",
+                [current],
+                attrs={
+                    "size": module.size,
+                    "alpha": module.alpha,
+                    "beta": module.beta,
+                    "k": module.k,
+                },
+                name=f"lrn{index}",
+            )
+        else:
+            raise FrontendError(
+                f"unsupported torch-like module: {type(module).__name__}"
+            )
+    graph.set_outputs([current])
+    return graph.finalize()

@@ -1,0 +1,18 @@
+"""Graph IR (Relay stand-in): typed operator DAGs, builder, passes."""
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph, Node
+from repro.ir.op import all_ops, get_op, is_op
+from repro.ir.passes import optimize
+from repro.ir.tensor_type import TensorType
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "TensorType",
+    "all_ops",
+    "get_op",
+    "is_op",
+    "optimize",
+]

@@ -1,0 +1,203 @@
+"""The graph IR: a validated DAG of operator nodes (Relay stand-in).
+
+A :class:`Graph` contains three node kinds:
+
+* ``input`` — a runtime-provided tensor with a declared type;
+* ``const`` — a parameter tensor baked into the graph;
+* ``op`` — an operator application over other nodes.
+
+Graphs are append-only during construction and validated on
+:meth:`Graph.finalize`: single assignment per node id, acyclicity by
+construction (nodes may only reference earlier ids), declared arity, and
+complete shape inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, ShapeInferenceError
+from repro.ir.op import get_op, is_op
+from repro.ir.tensor_type import TensorType
+
+
+@dataclass
+class Node:
+    """One node of the DAG.  ``inputs`` holds the ids of producer nodes."""
+
+    node_id: int
+    kind: str  # "input" | "const" | "op"
+    name: str
+    op_name: Optional[str] = None
+    inputs: Tuple[int, ...] = ()
+    attrs: Dict[str, object] = field(default_factory=dict)
+    ttype: Optional[TensorType] = None
+
+    def is_op(self, op_name: Optional[str] = None) -> bool:
+        if self.kind != "op":
+            return False
+        return op_name is None or self.op_name == op_name
+
+
+class Graph:
+    """A DAG of operator nodes with named inputs and parameters."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.nodes: Dict[int, Node] = {}
+        self.params: Dict[int, np.ndarray] = {}
+        self.input_ids: List[int] = []
+        self.output_ids: List[int] = []
+        self._next_id = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new_node(self, node: Node) -> int:
+        if self._finalized:
+            raise GraphError(f"graph {self.name!r} is finalized; cannot add nodes")
+        self.nodes[node.node_id] = node
+        return node.node_id
+
+    def add_input(self, name: str, ttype: TensorType) -> int:
+        """Declare a runtime input; returns its node id."""
+        node_id = self._alloc_id()
+        self._new_node(Node(node_id, "input", name, ttype=ttype))
+        self.input_ids.append(node_id)
+        return node_id
+
+    def add_const(self, name: str, value: np.ndarray) -> int:
+        """Bake a parameter tensor into the graph; returns its node id."""
+        value = np.asarray(value, dtype=np.float64)
+        if value.ndim == 0:
+            raise GraphError(f"constant {name!r} must have rank >= 1")
+        node_id = self._alloc_id()
+        self._new_node(
+            Node(node_id, "const", name, ttype=TensorType(value.shape))
+        )
+        self.params[node_id] = value
+        return node_id
+
+    def add_op(
+        self,
+        op_name: str,
+        inputs: Iterable[int],
+        attrs: Optional[Dict[str, object]] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Apply an operator over existing nodes; returns the new node id."""
+        if not is_op(op_name):
+            raise GraphError(f"unknown operator {op_name!r}")
+        input_ids = tuple(inputs)
+        decl = get_op(op_name)
+        if len(input_ids) != decl.arity:
+            raise GraphError(
+                f"operator {op_name!r} expects {decl.arity} inputs, "
+                f"got {len(input_ids)}"
+            )
+        for ref in input_ids:
+            if ref not in self.nodes:
+                raise GraphError(
+                    f"operator {op_name!r} references unknown node {ref}"
+                )
+        node_id = self._alloc_id()
+        node = Node(
+            node_id,
+            "op",
+            name or f"{op_name}_{node_id}",
+            op_name=op_name,
+            inputs=input_ids,
+            attrs=dict(attrs or {}),
+        )
+        # Eager shape inference: construction order is topological, so the
+        # producers are always typed already.  Builders rely on this to
+        # inspect the running output type.
+        in_types = [self.nodes[ref].ttype for ref in input_ids]
+        if all(t is not None for t in in_types):
+            node.ttype = decl.shape_fn(in_types, node.attrs)
+        self._new_node(node)
+        return node_id
+
+    def set_outputs(self, output_ids: Iterable[int]) -> None:
+        ids = list(output_ids)
+        if not ids:
+            raise GraphError("a graph needs at least one output")
+        for ref in ids:
+            if ref not in self.nodes:
+                raise GraphError(f"output references unknown node {ref}")
+        self.output_ids = ids
+
+    def _alloc_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    # ------------------------------------------------------------------
+    # validation / inference
+    # ------------------------------------------------------------------
+    def infer_types(self) -> None:
+        """Run shape inference over the whole graph in topological order."""
+        for node in self.topological_order():
+            if node.kind in ("input", "const"):
+                if node.ttype is None:
+                    raise ShapeInferenceError(
+                        f"{node.kind} node {node.name!r} has no declared type"
+                    )
+                continue
+            in_types = []
+            for ref in node.inputs:
+                ttype = self.nodes[ref].ttype
+                if ttype is None:
+                    raise ShapeInferenceError(
+                        f"node {node.name!r} depends on untyped node {ref}"
+                    )
+                in_types.append(ttype)
+            assert node.op_name is not None
+            node.ttype = get_op(node.op_name).shape_fn(in_types, node.attrs)
+
+    def finalize(self) -> "Graph":
+        """Validate the graph and freeze it; returns self for chaining."""
+        if not self.output_ids:
+            raise GraphError(f"graph {self.name!r} has no outputs")
+        self.infer_types()
+        self._finalized = True
+        return self
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Node]:
+        """Nodes in dependency order (construction order is topological)."""
+        return [self.nodes[node_id] for node_id in sorted(self.nodes)]
+
+    def consumers(self, node_id: int) -> List[Node]:
+        """Every op node that reads ``node_id``."""
+        return [
+            node
+            for node in self.nodes.values()
+            if node.kind == "op" and node_id in node.inputs
+        ]
+
+    def op_nodes(self, op_name: Optional[str] = None) -> List[Node]:
+        """All op nodes, optionally filtered by operator name."""
+        return [n for n in self.topological_order() if n.is_op(op_name)]
+
+    def describe(self) -> str:
+        """Readable multi-line dump of the graph."""
+        lines = [f"graph {self.name!r}:"]
+        for node in self.topological_order():
+            ttype = str(node.ttype) if node.ttype else "?"
+            if node.kind == "op":
+                refs = ", ".join(f"%{i}" for i in node.inputs)
+                lines.append(
+                    f"  %{node.node_id} = {node.op_name}({refs}) {node.attrs or ''} : {ttype}"
+                )
+            else:
+                lines.append(f"  %{node.node_id} = {node.kind} {node.name!r} : {ttype}")
+        outs = ", ".join(f"%{i}" for i in self.output_ids)
+        lines.append(f"  outputs: {outs}")
+        return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Operator declarations and shape functions for the graph IR.
+
+Every operator the IR admits is declared here with:
+
+* its arity (number of tensor inputs);
+* a *shape function* inferring the output :class:`TensorType` from the
+  input types and the node attributes.
+
+The executor separately resolves implementations through the
+:mod:`repro.topi.registry` strategy table; keeping declaration and
+implementation apart is what lets the "stonne" target override just
+conv2d/dense while everything else stays on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ShapeInferenceError
+from repro.ir.tensor_type import TensorType
+from repro.topi.conv2d import conv2d_output_shape
+
+_ShapeFn = Callable[[List[TensorType], dict], TensorType]
+
+
+@dataclass(frozen=True)
+class OpDecl:
+    """A declared operator: name, arity and shape function."""
+
+    name: str
+    arity: int
+    shape_fn: _ShapeFn
+
+
+_OPS: Dict[str, OpDecl] = {}
+
+
+def declare_op(name: str, arity: int):
+    """Decorator declaring an operator with the wrapped shape function."""
+
+    def decorator(fn: _ShapeFn) -> _ShapeFn:
+        if name in _OPS:
+            raise ShapeInferenceError(f"operator {name!r} already declared")
+        _OPS[name] = OpDecl(name=name, arity=arity, shape_fn=fn)
+        return fn
+
+    return decorator
+
+
+def get_op(name: str) -> OpDecl:
+    try:
+        return _OPS[name]
+    except KeyError:
+        raise ShapeInferenceError(f"unknown operator {name!r}") from None
+
+
+def is_op(name: str) -> bool:
+    return name in _OPS
+
+
+def all_ops() -> List[str]:
+    return sorted(_OPS)
+
+
+def _same_as_first(types: List[TensorType], attrs: dict) -> TensorType:
+    return types[0]
+
+
+@declare_op("conv2d", 2)
+def _conv2d_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data, weight = types
+    layout = attrs.get("data_layout", "NCHW")
+    if data.rank != 4 or weight.rank != 4:
+        raise ShapeInferenceError(
+            f"conv2d expects 4-D data and weights, got {data} and {weight}"
+        )
+    if layout == "NCHW":
+        data_shape = data.shape
+        weight_shape = weight.shape  # KCRS
+    elif layout == "NHWC":
+        n, h, w, c = data.shape
+        r, s, cg, k = weight.shape  # RSCK
+        data_shape = (n, c, h, w)
+        weight_shape = (k, cg, r, s)
+    else:
+        raise ShapeInferenceError(f"conv2d: unsupported layout {layout!r}")
+    n, k, p, q = conv2d_output_shape(
+        data_shape,
+        weight_shape,
+        strides=tuple(attrs.get("strides", (1, 1))),
+        padding=tuple(attrs.get("padding", (0, 0))),
+        dilation=tuple(attrs.get("dilation", (1, 1))),
+        groups=attrs.get("groups", 1),
+    )
+    shape = (n, k, p, q) if layout == "NCHW" else (n, p, q, k)
+    return TensorType(shape, data.dtype)
+
+
+@declare_op("dense", 2)
+def _dense_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data, weight = types
+    if data.rank != 2 or weight.rank != 2:
+        raise ShapeInferenceError(
+            f"dense expects 2-D data and weights, got {data} and {weight}"
+        )
+    if data.shape[1] != weight.shape[1]:
+        raise ShapeInferenceError(
+            f"dense reduction mismatch: {data} vs {weight}"
+        )
+    return TensorType((data.shape[0], weight.shape[0]), data.dtype)
+
+
+@declare_op("matmul", 2)
+def _matmul_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    a, b = types
+    if a.rank != 2 or b.rank != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeInferenceError(f"matmul shape mismatch: {a} @ {b}")
+    return TensorType((a.shape[0], b.shape[1]), a.dtype)
+
+
+@declare_op("bias_add", 2)
+def _bias_add_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data, bias = types
+    axis = attrs.get("axis", -1) % data.rank
+    if bias.rank != 1 or bias.shape[0] != data.shape[axis]:
+        raise ShapeInferenceError(
+            f"bias_add: bias {bias} does not match axis {axis} of {data}"
+        )
+    return data
+
+
+def _pool2d_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data = types[0]
+    if data.rank != 4:
+        raise ShapeInferenceError(f"pooling expects NCHW input, got {data}")
+    r, s = attrs.get("pool_size", (2, 2))
+    stride_h, stride_w = attrs.get("strides", (2, 2))
+    pad_h, pad_w = attrs.get("padding", (0, 0))
+    n, c, h, w = data.shape
+    p = (h + 2 * pad_h - r) // stride_h + 1
+    q = (w + 2 * pad_w - s) // stride_w + 1
+    if p < 1 or q < 1:
+        raise ShapeInferenceError(
+            f"pooling output would be empty for input {data} window ({r},{s})"
+        )
+    return TensorType((n, c, p, q), data.dtype)
+
+
+declare_op("max_pool2d", 1)(_pool2d_shape)
+declare_op("avg_pool2d", 1)(_pool2d_shape)
+
+
+@declare_op("adaptive_avg_pool2d", 1)
+def _adaptive_pool_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data = types[0]
+    if data.rank != 4:
+        raise ShapeInferenceError(f"pooling expects NCHW input, got {data}")
+    out_h, out_w = attrs["output_size"]
+    return TensorType((data.shape[0], data.shape[1], out_h, out_w), data.dtype)
+
+
+@declare_op("flatten", 1)
+def _flatten_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data = types[0]
+    if data.rank < 2:
+        raise ShapeInferenceError(f"flatten expects >= 2-D input, got {data}")
+    rest = 1
+    for dim in data.shape[1:]:
+        rest *= dim
+    return TensorType((data.shape[0], rest), data.dtype)
+
+
+@declare_op("reshape", 1)
+def _reshape_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data = types[0]
+    newshape = tuple(attrs["newshape"])
+    total = 1
+    for dim in newshape:
+        total *= dim
+    if total != data.num_elements:
+        raise ShapeInferenceError(
+            f"reshape to {newshape} does not preserve {data.num_elements} elements"
+        )
+    return TensorType(newshape, data.dtype)
+
+
+@declare_op("batch_norm", 5)
+def _batch_norm_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    data = types[0]
+    axis = attrs.get("axis", 1)
+    channels = data.shape[axis]
+    for i, name in enumerate(("gamma", "beta", "mean", "var"), start=1):
+        if types[i].shape != (channels,):
+            raise ShapeInferenceError(
+                f"batch_norm {name} {types[i]} does not match {channels} channels"
+            )
+    return data
+
+
+@declare_op("add", 2)
+def _add_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    a, b = types
+    if a.shape != b.shape:
+        raise ShapeInferenceError(f"add shape mismatch: {a} vs {b}")
+    return a
+
+
+@declare_op("multiply", 2)
+def _multiply_shape(types: List[TensorType], attrs: dict) -> TensorType:
+    a, b = types
+    if a.shape != b.shape:
+        raise ShapeInferenceError(f"multiply shape mismatch: {a} vs {b}")
+    return a
+
+
+for _name in (
+    "relu", "leaky_relu", "sigmoid", "tanh",
+    "softmax", "log_softmax", "dropout", "lrn",
+):
+    declare_op(_name, 1)(_same_as_first)

@@ -1,0 +1,21 @@
+"""Graph-level optimization passes."""
+
+from repro.ir.passes.dead_code import eliminate_dead_code
+from repro.ir.passes.fold_constants import fold_constants
+from repro.ir.passes.fuse import fold_batch_norms
+from repro.ir.passes.pass_manager import (
+    PassManager,
+    PassResult,
+    default_pipeline,
+    optimize,
+)
+
+__all__ = [
+    "PassManager",
+    "PassResult",
+    "default_pipeline",
+    "eliminate_dead_code",
+    "fold_batch_norms",
+    "fold_constants",
+    "optimize",
+]

@@ -1,0 +1,33 @@
+"""Dead-code elimination: drop nodes unreachable from the outputs."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.graph import Graph
+
+
+def eliminate_dead_code(graph: Graph) -> int:
+    """Remove nodes (and their parameters) no output depends on.
+
+    Declared graph inputs are kept even when unused, so the runtime
+    signature stays stable.  Returns the number of nodes removed.
+    """
+    live: Set[int] = set()
+    stack = list(graph.output_ids)
+    while stack:
+        node_id = stack.pop()
+        if node_id in live:
+            continue
+        live.add(node_id)
+        stack.extend(graph.nodes[node_id].inputs)
+
+    dead = [
+        node_id
+        for node_id in graph.nodes
+        if node_id not in live and node_id not in graph.input_ids
+    ]
+    for node_id in dead:
+        del graph.nodes[node_id]
+        graph.params.pop(node_id, None)
+    return len(dead)

@@ -1,0 +1,32 @@
+"""Constant folding: evaluate op nodes whose inputs are all constants."""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.topi.registry import has_op, lookup_op
+
+
+def fold_constants(graph: Graph) -> int:
+    """Replace all-constant op nodes with precomputed const nodes.
+
+    Evaluation uses the CPU strategy of each operator; ops without a CPU
+    implementation are left alone.  Returns the number of folds applied.
+    """
+    folded = 0
+    for node in graph.op_nodes():
+        assert node.op_name is not None
+        if not has_op(node.op_name, "cpu"):
+            continue
+        if not all(graph.nodes[ref].kind == "const" for ref in node.inputs):
+            continue
+        inputs = [graph.params[ref] for ref in node.inputs]
+        value = lookup_op(node.op_name, "cpu")(node.attrs, inputs)
+        # Rewrite the node in place into a constant.
+        node.kind = "const"
+        node.name = f"{node.name}.folded"
+        node.op_name = None
+        node.inputs = ()
+        node.attrs = {}
+        graph.params[node.node_id] = value
+        folded += 1
+    return folded

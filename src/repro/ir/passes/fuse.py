@@ -1,0 +1,101 @@
+"""Batch-norm fusion: fold inference BN into the preceding convolution.
+
+Matches the patterns ``bn(conv2d(x, W))`` and ``bn(bias_add(conv2d(x, W),
+b))`` and rewrites the convolution's weights (and bias) so the batch norm
+becomes the identity and is removed.  This is the canonical graph-level
+optimization TVM applies that Bifrost inherits (§IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ir.graph import Graph, Node
+from repro.topi.normalization import fold_batch_norm_into_conv
+
+
+def _producer(graph: Graph, node: Node, index: int = 0) -> Node:
+    return graph.nodes[node.inputs[index]]
+
+
+def _match_conv_chain(graph: Graph, bn: Node) -> Optional[dict]:
+    """Match bn -> [bias_add ->] conv2d with single-use intermediates."""
+    pred = _producer(graph, bn)
+    bias_add = None
+    if pred.is_op("bias_add"):
+        bias_add = pred
+        pred = _producer(graph, bias_add)
+    if not pred.is_op("conv2d"):
+        return None
+    conv = pred
+    if conv.attrs.get("groups", 1) != 1:
+        return None  # grouped conv folding not supported
+    # Intermediates must feed only this chain, or folding changes others.
+    if len(graph.consumers(conv.node_id)) != 1:
+        return None
+    if bias_add is not None and len(graph.consumers(bias_add.node_id)) != 1:
+        return None
+    weight_node = graph.nodes[conv.inputs[1]]
+    if weight_node.kind != "const":
+        return None
+    if bias_add is not None and graph.nodes[bias_add.inputs[1]].kind != "const":
+        return None
+    return {"conv": conv, "bias_add": bias_add, "weight": weight_node}
+
+
+def fold_batch_norms(graph: Graph) -> int:
+    """Fold every foldable batch norm; returns the number folded."""
+    folded = 0
+    for bn in graph.op_nodes("batch_norm"):
+        match = _match_conv_chain(graph, bn)
+        if match is None:
+            continue
+        gamma, beta, mean, var = (graph.params[ref] for ref in bn.inputs[1:])
+        if any(graph.nodes[ref].kind != "const" for ref in bn.inputs[1:]):
+            continue
+        conv: Node = match["conv"]
+        weight_node: Node = match["weight"]
+        bias_add: Optional[Node] = match["bias_add"]
+
+        weights = graph.params[weight_node.node_id]
+        if bias_add is not None:
+            bias = graph.params[bias_add.inputs[1]]
+        else:
+            bias = np.zeros(weights.shape[0])
+
+        new_weights, new_bias = fold_batch_norm_into_conv(
+            weights, bias, gamma, beta, mean, var,
+            epsilon=bn.attrs.get("epsilon", 1e-5),
+        )
+        graph.params[weight_node.node_id] = new_weights
+
+        if bias_add is not None:
+            graph.params[bias_add.inputs[1]] = new_bias
+            tail_id = bias_add.node_id
+        else:
+            # Materialize a bias_add carrying the folded shift by rewriting
+            # the batch_norm node itself (keeps ids stable).
+            bias_const = graph.nodes[bn.inputs[1]]
+            bias_const.kind = "const"
+            bias_const.name = f"{conv.name}.folded_bias"
+            graph.params[bias_const.node_id] = new_bias
+            bn.op_name = "bias_add"
+            bn.name = f"{conv.name}.bias_add"
+            bn.inputs = (conv.node_id, bias_const.node_id)
+            bn.attrs = {"axis": bn.attrs.get("axis", 1)}
+            folded += 1
+            continue
+
+        # Turn the batch_norm into the identity by splicing consumers.
+        for consumer in graph.consumers(bn.node_id):
+            consumer.inputs = tuple(
+                tail_id if ref == bn.node_id else ref for ref in consumer.inputs
+            )
+        graph.output_ids = [
+            tail_id if ref == bn.node_id else ref for ref in graph.output_ids
+        ]
+        del graph.nodes[bn.node_id]
+        folded += 1
+    return folded

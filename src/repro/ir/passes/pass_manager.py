@@ -1,0 +1,71 @@
+"""Graph-level optimization passes and their driver.
+
+Passes mutate a graph in place and must leave it valid; the
+:class:`PassManager` re-runs shape inference after each pass and reports
+what changed.  The default pipeline mirrors what Bifrost relies on from
+TVM (§IV): batch-norm fusion, constant folding, dead-code elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.ir.graph import Graph
+
+#: A pass is a callable Graph -> int (number of rewrites applied).
+GraphPass = Callable[[Graph], int]
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pass application."""
+
+    name: str
+    rewrites: int
+
+
+@dataclass
+class PassManager:
+    """Runs a pipeline of graph passes until fixpoint (or one sweep)."""
+
+    passes: List[GraphPass] = field(default_factory=list)
+    max_rounds: int = 5
+
+    def add(self, graph_pass: GraphPass) -> "PassManager":
+        self.passes.append(graph_pass)
+        return self
+
+    def run(self, graph: Graph) -> List[PassResult]:
+        """Apply every pass, iterating until nothing changes."""
+        results: List[PassResult] = []
+        for _ in range(self.max_rounds):
+            round_rewrites = 0
+            for graph_pass in self.passes:
+                count = graph_pass(graph)
+                round_rewrites += count
+                results.append(
+                    PassResult(name=graph_pass.__name__, rewrites=count)
+                )
+                if count:
+                    graph.infer_types()
+            if round_rewrites == 0:
+                break
+        return results
+
+
+def default_pipeline() -> PassManager:
+    """The standard optimization pipeline Bifrost applies before offload."""
+    from repro.ir.passes.dead_code import eliminate_dead_code
+    from repro.ir.passes.fold_constants import fold_constants
+    from repro.ir.passes.fuse import fold_batch_norms
+
+    return PassManager(
+        passes=[fold_batch_norms, fold_constants, eliminate_dead_code]
+    )
+
+
+def optimize(graph: Graph) -> Graph:
+    """Run the default pipeline over ``graph`` and return it."""
+    default_pipeline().run(graph)
+    return graph

@@ -1,0 +1,49 @@
+"""Tensor types for the graph IR: a shape plus a dtype string."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ShapeInferenceError
+
+_SUPPORTED_DTYPES = ("float32", "float64", "int32", "int64")
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """A statically known tensor type.
+
+    Shapes are tuples of positive ints; scalars are ``()``.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _SUPPORTED_DTYPES:
+            raise ShapeInferenceError(
+                f"unsupported dtype {self.dtype!r}; expected one of {_SUPPORTED_DTYPES}"
+            )
+        shape = tuple(int(dim) for dim in self.shape)
+        for dim in shape:
+            if dim < 1:
+                raise ShapeInferenceError(
+                    f"tensor dimensions must be >= 1, got shape {self.shape}"
+                )
+        object.__setattr__(self, "shape", shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.shape)
+        return f"Tensor[({dims}), {self.dtype}]"

@@ -1,0 +1,30 @@
+"""Model zoo: graphs plus accelerated-layer descriptors for each network."""
+
+from repro.models.alexnet import (
+    alexnet_conv_layers,
+    alexnet_fc_layers,
+    alexnet_graph,
+    alexnet_layers,
+)
+from repro.models.lenet import lenet_conv_layers, lenet_fc_layers, lenet_graph
+from repro.models.mlp import mlp_fc_layers, mlp_graph
+from repro.models.vgg_small import (
+    vgg_small_conv_layers,
+    vgg_small_fc_layers,
+    vgg_small_graph,
+)
+
+__all__ = [
+    "alexnet_conv_layers",
+    "alexnet_fc_layers",
+    "alexnet_graph",
+    "alexnet_layers",
+    "lenet_conv_layers",
+    "lenet_fc_layers",
+    "lenet_graph",
+    "mlp_fc_layers",
+    "mlp_graph",
+    "vgg_small_conv_layers",
+    "vgg_small_fc_layers",
+    "vgg_small_graph",
+]

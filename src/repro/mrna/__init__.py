@@ -1,0 +1,6 @@
+"""mRNA stand-in: specialized analytical mapping tool for MAERI."""
+
+from repro.mrna.mapper import MappingChoice, MrnaMapper
+from repro.mrna.model import MaeriAnalyticalModel
+
+__all__ = ["MaeriAnalyticalModel", "MappingChoice", "MrnaMapper"]

@@ -1,0 +1,124 @@
+"""The mRNA mapper: analytical mapping generation for MAERI.
+
+For each layer the mapper enumerates *structured* candidates — tiles drawn
+from the divisors of each dimension (perfect tilings waste no multiplier
+slots on ragged edges, a rule mRNA derives from MAERI's VN packing) plus
+the dimension bound itself — prunes by array capacity, scores every
+survivor with the closed-form :class:`MaeriAnalyticalModel`, and returns
+the argmin.  No simulation runs, so mapping a whole network takes
+milliseconds; the resulting mappings vary per layer (Table VI), unlike
+psum-guided tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import MappingError, TuningError
+from repro.mrna.model import MaeriAnalyticalModel
+from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.layer import ConvLayer, FcLayer
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+
+
+def _divisor_options(bound: int, cap: int) -> List[int]:
+    """Divisors of ``bound`` up to ``cap``, plus ``min(bound, cap)``."""
+    options = {d for d in range(1, min(bound, cap) + 1) if bound % d == 0}
+    options.add(min(bound, cap))
+    return sorted(options)
+
+
+@dataclass
+class MappingChoice:
+    """A scored candidate mapping."""
+
+    mapping: object
+    estimated_cycles: int
+
+
+class MrnaMapper:
+    """Generates optimized MAERI mappings analytically (mRNA stand-in)."""
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        params: CycleModelParams = DEFAULT_PARAMS,
+    ) -> None:
+        if config.controller_type is not ControllerType.MAERI_DENSE_WORKLOAD:
+            raise TuningError(
+                f"mRNA targets MAERI only, got {config.controller_type.value}"
+            )
+        self.config = config
+        self.model = MaeriAnalyticalModel(config, params)
+
+    # ------------------------------------------------------------------
+    def conv_candidates(self, layer: ConvLayer) -> List[ConvMapping]:
+        """Structured conv candidates pruned by array capacity."""
+        ms = self.config.ms_size
+        candidates: List[ConvMapping] = []
+        for t_r in _divisor_options(layer.R, ms):
+            for t_s in _divisor_options(layer.S, ms // t_r):
+                for t_c in _divisor_options(layer.C // layer.G, ms // (t_r * t_s)):
+                    vn = t_r * t_s * t_c
+                    for t_k in _divisor_options(layer.K // layer.G, ms // vn):
+                        for t_x in _divisor_options(layer.P, ms // (vn * t_k)):
+                            cap_y = ms // (vn * t_k * t_x)
+                            for t_y in _divisor_options(layer.Q, cap_y):
+                                candidates.append(
+                                    ConvMapping(
+                                        T_R=t_r, T_S=t_s, T_C=t_c,
+                                        T_K=t_k, T_X=t_x, T_Y=t_y,
+                                    )
+                                )
+        return candidates
+
+    def fc_candidates(self, layer: FcLayer) -> List[FcMapping]:
+        """Structured FC candidates pruned by array capacity."""
+        ms = self.config.ms_size
+        candidates: List[FcMapping] = []
+        for t_s in _divisor_options(layer.out_features, ms):
+            for t_k in _divisor_options(layer.in_features, ms // t_s):
+                candidates.append(FcMapping(T_S=t_s, T_K=t_k, T_N=1))
+        return candidates
+
+    # ------------------------------------------------------------------
+    def map_conv(self, layer: ConvLayer) -> ConvMapping:
+        """The analytically optimal conv mapping for ``layer``."""
+        best = self.score_conv(layer)
+        return best.mapping  # type: ignore[return-value]
+
+    def map_fc(self, layer: FcLayer) -> FcMapping:
+        """The analytically optimal FC mapping for ``layer``."""
+        best = self.score_fc(layer)
+        return best.mapping  # type: ignore[return-value]
+
+    def score_conv(self, layer: ConvLayer) -> MappingChoice:
+        """Best candidate with its estimated cycle count."""
+        best: Optional[MappingChoice] = None
+        for mapping in self.conv_candidates(layer):
+            try:
+                mapping.validate_for(layer, self.config.ms_size)
+            except MappingError:
+                continue
+            cycles = self.model.conv_cycles(layer, mapping)
+            if best is None or cycles < best.estimated_cycles:
+                best = MappingChoice(mapping=mapping, estimated_cycles=cycles)
+        if best is None:
+            raise TuningError(f"no valid conv mapping for layer {layer.name!r}")
+        return best
+
+    def score_fc(self, layer: FcLayer) -> MappingChoice:
+        best: Optional[MappingChoice] = None
+        for mapping in self.fc_candidates(layer):
+            try:
+                mapping.validate_for(layer, self.config.ms_size)
+            except MappingError:
+                continue
+            cycles = self.model.fc_cycles(layer, mapping)
+            if best is None or cycles < best.estimated_cycles:
+                best = MappingChoice(mapping=mapping, estimated_cycles=cycles)
+        if best is None:
+            raise TuningError(f"no valid FC mapping for layer {layer.name!r}")
+        return best

@@ -1,0 +1,93 @@
+"""mRNA's analytical MAERI performance model.
+
+mRNA [Zhao et al., ISPASS'19] finds dataflow mappings for MAERI *without
+running a simulator*: it encodes the architecture — virtual-neuron
+partitioning, distribution/reduction bandwidth, accumulation behaviour —
+as closed-form expressions and scores candidate mappings directly, which
+is why it "takes minutes rather than hours" (§VIII-B).
+
+This module is that encoding for our MAERI model: steady-state initiation
+interval times iteration count.  It intentionally ignores second-order
+terms the simulator charges (configuration loads, pipeline fill), exactly
+the kind of abstraction a specialized analytical tool makes; tests verify
+its estimates track simulated cycles within a few percent on realistic
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stonne.config import SimulatorConfig
+from repro.stonne.layer import ConvLayer, FcLayer, ceil_div
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+
+
+@dataclass(frozen=True)
+class MaeriAnalyticalModel:
+    """Closed-form cycle estimates for MAERI mappings."""
+
+    config: SimulatorConfig
+    params: CycleModelParams = DEFAULT_PARAMS
+
+    def _ii(
+        self,
+        unique_weights: int,
+        unique_inputs: int,
+        outputs: int,
+        partial: bool,
+        has_temporal_reduction: bool,
+    ) -> int:
+        """Steady-state initiation interval of one tile iteration."""
+        dn = ceil_div(unique_weights + unique_inputs, self.config.dn_bw)
+        occupancy = self.params.rmw_occupancy if partial else 1
+        rn = ceil_div(outputs * occupancy, self.config.rn_bw)
+        raw = self.params.acc_raw_latency if has_temporal_reduction else 0
+        return max(dn, rn, raw, 1)
+
+    # ------------------------------------------------------------------
+    def conv_cycles(self, layer: ConvLayer, mapping: ConvMapping) -> int:
+        """Estimated cycles for a conv mapping."""
+        folds = mapping.fold_counts(layer)
+        red_folds = folds["R"] * folds["S"] * folds["C"]
+        iterations = mapping.iterations(layer)
+        out_iters = iterations // red_folds
+
+        weights = (
+            mapping.T_K * mapping.T_G * mapping.T_C * mapping.T_R * mapping.T_S
+        )
+        in_rows = (mapping.T_X - 1) * layer.stride_h + mapping.T_R
+        in_cols = (mapping.T_Y - 1) * layer.stride_w + mapping.T_S
+        inputs = mapping.T_G * mapping.T_C * in_rows * in_cols
+
+        partial_iters = out_iters * (red_folds - 1)
+        final_iters = iterations - partial_iters
+        temporal = red_folds > 1
+        ii_partial = self._ii(weights, inputs, mapping.num_vns, True, temporal)
+        ii_final = self._ii(weights, inputs, mapping.num_vns, False, temporal)
+        return partial_iters * ii_partial + final_iters * ii_final
+
+    def fc_cycles(self, layer: FcLayer, mapping: FcMapping) -> int:
+        """Estimated cycles for an FC mapping."""
+        folds = mapping.fold_counts(layer)
+        red_folds = folds["K"]
+        iterations = mapping.iterations(layer)
+        out_iters = iterations // red_folds
+
+        weights = mapping.T_S * mapping.T_K
+        inputs = mapping.T_K * mapping.T_N
+        partial_iters = out_iters * (red_folds - 1)
+        final_iters = iterations - partial_iters
+        temporal = red_folds > 1
+        ii_partial = self._ii(weights, inputs, mapping.num_vns, True, temporal)
+        ii_final = self._ii(weights, inputs, mapping.num_vns, False, temporal)
+        return partial_iters * ii_partial + final_iters * ii_final
+
+    # ------------------------------------------------------------------
+    def conv_utilization(self, layer: ConvLayer, mapping: ConvMapping) -> float:
+        """Fraction of the multiplier array the mapping occupies."""
+        return mapping.multipliers_used / self.config.ms_size
+
+    def fc_utilization(self, layer: FcLayer, mapping: FcMapping) -> float:
+        return mapping.multipliers_used / self.config.ms_size

@@ -1,0 +1,20 @@
+"""Graph runtime: executor, offload policies, compiled modules."""
+
+from repro.runtime.executor import (
+    ExecutionReport,
+    GraphExecutor,
+    NodeProfile,
+    cpu_only_policy,
+    make_offload_policy,
+)
+from repro.runtime.module import CompiledModule, compile_graph
+
+__all__ = [
+    "CompiledModule",
+    "ExecutionReport",
+    "GraphExecutor",
+    "NodeProfile",
+    "compile_graph",
+    "cpu_only_policy",
+    "make_offload_policy",
+]

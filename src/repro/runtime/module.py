@@ -1,0 +1,52 @@
+"""Compiled module: the user-facing handle TVM returns after ``build``.
+
+:func:`compile_graph` runs the optimization pipeline and wraps the result
+with an executor, giving the ``module = build(model); module(x)`` flow of
+Listing 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.passes import optimize
+from repro.runtime.executor import (
+    ExecutionReport,
+    GraphExecutor,
+    OffloadPolicy,
+    cpu_only_policy,
+)
+
+
+class CompiledModule:
+    """An optimized graph bound to an executor."""
+
+    def __init__(self, graph: Graph, policy: Optional[OffloadPolicy] = None) -> None:
+        self.graph = graph
+        self.executor = GraphExecutor(graph, policy or cpu_only_policy)
+
+    def run(self, feeds: Dict[str, np.ndarray]) -> List[np.ndarray]:
+        """Execute with named feeds; returns all outputs."""
+        return self.executor.run(feeds)
+
+    def __call__(self, data: np.ndarray) -> np.ndarray:
+        """Single-input convenience: feed the first declared input."""
+        first_input = self.graph.nodes[self.graph.input_ids[0]].name
+        return self.run({first_input: data})[0]
+
+    @property
+    def report(self) -> Optional[ExecutionReport]:
+        """Profile of the most recent execution."""
+        return self.executor.last_report
+
+
+def compile_graph(
+    graph: Graph, policy: Optional[OffloadPolicy] = None, apply_passes: bool = True
+) -> CompiledModule:
+    """Optimize ``graph`` and return a runnable module."""
+    if apply_passes:
+        optimize(graph)
+    return CompiledModule(graph, policy)

@@ -1,0 +1,66 @@
+"""Distribution network model.
+
+MAERI and SIGMA distribute operands from the global buffer to the
+multiplier array through a tree of tiny switches (MAERI's chubby
+distribution tree, SIGMA's Benes network).  Two properties matter for
+cycle counts:
+
+* **bandwidth** — at most ``dn_bw`` distinct elements enter the tree per
+  cycle;
+* **multicast** — an element needed by several multipliers (e.g. a filter
+  weight shared across output-pixel virtual neurons) traverses the tree
+  once and is replicated by the switches, so it consumes a single
+  bandwidth slot;
+* **latency** — a value takes ``depth = log2(fanout)`` cycles to reach the
+  leaves; this shows up as pipeline fill, not steady-state throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.stonne.layer import ceil_div
+
+
+@dataclass(frozen=True)
+class DistributionNetwork:
+    """A bandwidth-limited multicast distribution tree.
+
+    Args:
+        bandwidth: Distinct elements accepted per cycle (``dn_bw``).
+        fanout: Number of leaf multipliers the tree feeds.
+    """
+
+    bandwidth: int
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 1:
+            raise SimulationError(f"dn bandwidth must be >= 1, got {self.bandwidth}")
+        if self.fanout < 1:
+            raise SimulationError(f"dn fanout must be >= 1, got {self.fanout}")
+
+    @property
+    def depth(self) -> int:
+        """Tree levels between the buffer port and the leaves."""
+        return max(1, math.ceil(math.log2(self.fanout))) if self.fanout > 1 else 1
+
+    def cycles_to_distribute(self, unique_elements: int) -> int:
+        """Steady-state cycles to inject ``unique_elements`` into the tree.
+
+        Multicast replication is free: callers pass the count of *distinct*
+        elements.  Zero elements cost zero cycles.
+        """
+        if unique_elements < 0:
+            raise SimulationError(
+                f"cannot distribute a negative element count: {unique_elements}"
+            )
+        if unique_elements == 0:
+            return 0
+        return ceil_div(unique_elements, self.bandwidth)
+
+    def fill_latency(self) -> int:
+        """Cycles for the first value to travel from the port to a leaf."""
+        return self.depth

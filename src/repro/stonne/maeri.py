@@ -1,0 +1,248 @@
+"""MAERI controller: cycle-level model of the reconfigurable dense fabric.
+
+MAERI [Kwon et al., ASPLOS'18] couples a linear multiplier array to a
+chubby distribution tree and an Augmented Reduction Tree (ART).  A mapping
+partitions the array into *virtual neurons* (VNs): groups of multipliers
+that spatially reduce one output element per tile iteration, while the
+remaining dimensions fold temporally.
+
+The model (DESIGN.md §3) computes, per tile iteration, the steady-state
+initiation interval ``II = max(dn, rn, compute, raw_stall)`` where
+
+* ``dn`` — cycles to inject the iteration's *unique* operands into the
+  distribution tree (weights multicast across ``T_X/T_Y`` VNs and inputs
+  multicast across ``T_K`` count once);
+* ``rn`` — cycles to drain the iteration's outputs, with partial outputs
+  paying the accumulation-buffer read-modify-write occupancy;
+* ``compute`` — 1 in the common case (every occupied PE retires one MAC
+  per cycle);
+* ``raw_stall`` — the accumulation RAW hazard, paid whenever the iteration
+  accumulates onto outputs the previous iteration wrote (temporal
+  reduction folds).
+
+Identical steady-state iterations are batched ("macro-tile batching"), so
+simulating a layer is O(1) in the iteration count while remaining a
+deterministic function of (layer, config, mapping) exactly like STONNE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ConfigError
+from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.distribution import DistributionNetwork
+from repro.stonne.layer import ConvLayer, FcLayer, ceil_div
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.memory import AccumulationBuffer
+from repro.stonne.multiplier import LinearMultiplierNetwork
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+from repro.stonne.reduction import make_reduction_network
+from repro.stonne.stats import SimulationStats, TrafficBreakdown
+
+
+@dataclass(frozen=True)
+class _IterationProfile:
+    """Per-iteration operand and output counts for a mapping."""
+
+    unique_weights: int
+    unique_inputs: int
+    outputs: int
+    macs: int
+
+
+class MaeriController:
+    """Simulates conv2d and dense workloads on a MAERI configuration."""
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        params: CycleModelParams = DEFAULT_PARAMS,
+    ) -> None:
+        if config.controller_type is not ControllerType.MAERI_DENSE_WORKLOAD:
+            raise ConfigError(
+                f"MaeriController requires a MAERI config, got "
+                f"{config.controller_type.value}"
+            )
+        self.config = config
+        self.params = params
+        self.multipliers = LinearMultiplierNetwork(size=config.ms_size)
+        self.distribution = DistributionNetwork(
+            bandwidth=config.dn_bw, fanout=config.ms_size
+        )
+        self.reduction = make_reduction_network(
+            config.reduce_network_type.value,
+            bandwidth=config.rn_bw,
+            rmw_occupancy=params.rmw_occupancy,
+        )
+        self.accumulator = AccumulationBuffer(
+            enabled=config.accumulation_buffer,
+            raw_latency=params.acc_raw_latency,
+        )
+
+    # ------------------------------------------------------------------
+    # workload-specific iteration profiles
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _conv_profile(layer: ConvLayer, mapping: ConvMapping) -> _IterationProfile:
+        """Unique operand counts for one conv tile iteration.
+
+        Weights are shared (multicast) across the ``T_X * T_Y`` output-pixel
+        VNs; the input window is shared across the ``T_K`` filter VNs, and
+        neighbouring output pixels overlap (halo reuse), so the unique input
+        count is the union window, not ``vn_size * num_vns``.
+        """
+        weights = mapping.T_K * mapping.T_G * mapping.T_C * mapping.T_R * mapping.T_S
+        in_rows = (mapping.T_X - 1) * layer.stride_h + mapping.T_R
+        in_cols = (mapping.T_Y - 1) * layer.stride_w + mapping.T_S
+        inputs = mapping.T_G * mapping.T_C * in_rows * in_cols * mapping.T_N
+        return _IterationProfile(
+            unique_weights=weights,
+            unique_inputs=inputs,
+            outputs=mapping.num_vns,
+            macs=mapping.vn_size * mapping.num_vns,
+        )
+
+    @staticmethod
+    def _fc_profile(layer: FcLayer, mapping: FcMapping) -> _IterationProfile:
+        """Unique operand counts for one dense tile iteration.
+
+        Every weight is distinct (``T_S * T_K``); the ``T_K`` input
+        activations are multicast across the ``T_S`` output-neuron VNs.
+        """
+        return _IterationProfile(
+            unique_weights=mapping.T_S * mapping.T_K,
+            unique_inputs=mapping.T_K * mapping.T_N,
+            outputs=mapping.num_vns,
+            macs=mapping.vn_size * mapping.num_vns,
+        )
+
+    # ------------------------------------------------------------------
+    # psum accounting (see repro.stonne.stats module docs)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def conv_psums(layer: ConvLayer, mapping: ConvMapping) -> int:
+        """Accumulation-buffer writebacks plus per-iteration flushes.
+
+        One writeback per output element per temporal reduction fold, plus
+        one configuration-flush psum per tile iteration (the same flush
+        term the FC counter has).  Minimizing this maximizes spatial
+        reduction (``T_R*T_S*T_C``) first and output parallelism second.
+        """
+        return (
+            layer.output_elements * mapping.reduction_folds(layer)
+            + mapping.iterations(layer)
+        )
+
+    @staticmethod
+    def fc_psums(layer: FcLayer, mapping: FcMapping) -> int:
+        """Reduction-network psums: spatial adds plus one flush per iteration."""
+        iterations = mapping.iterations(layer)
+        spatial_per_iter = mapping.num_vns * max(0, mapping.vn_size - 1)
+        return iterations * (spatial_per_iter + 1)
+
+    # ------------------------------------------------------------------
+    # cycle model core
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        layer: Union[ConvLayer, FcLayer],
+        mapping: Union[ConvMapping, FcMapping],
+        profile: _IterationProfile,
+        red_folds: int,
+        iterations: int,
+        psums: int,
+    ) -> SimulationStats:
+        self.multipliers.check_fit(mapping.vn_size, mapping.num_vns)
+        params = self.params
+
+        dn_cycles = self.distribution.cycles_to_distribute(
+            profile.unique_weights + profile.unique_inputs
+        )
+        rn_partial = self.reduction.cycles_to_collect(profile.outputs, partial=True)
+        rn_final = self.reduction.cycles_to_collect(profile.outputs, partial=False)
+        compute = self.multipliers.compute_cycles(
+            profile.macs, mapping.multipliers_used
+        )
+        raw_stall = self.accumulator.hazard_stall(red_folds > 1)
+
+        out_iters = iterations // red_folds
+        partial_iters = out_iters * (red_folds - 1)
+        final_iters = iterations - partial_iters
+
+        ii_partial = max(dn_cycles, rn_partial, compute, raw_stall, 1)
+        ii_final = max(dn_cycles, rn_final, compute, raw_stall, 1)
+
+        fill = (
+            params.config_cycles
+            + self.distribution.fill_latency() * params.pipeline_fill_per_level
+            + self.reduction.reduction_latency(mapping.vn_size)
+        )
+        steady = partial_iters * ii_partial + final_iters * ii_final
+        cycles = fill + steady
+
+        self.accumulator.record_partial_writes(partial_iters * profile.outputs)
+        self.accumulator.record_final_writes(final_iters * profile.outputs)
+
+        traffic = TrafficBreakdown(
+            weights_distributed=iterations * profile.unique_weights,
+            inputs_distributed=iterations * profile.unique_inputs,
+            psums_reduced=psums,
+            outputs_written=layer.output_elements,
+        )
+        return SimulationStats(
+            layer_name=layer.name,
+            controller=self.config.controller_type.value,
+            cycles=cycles,
+            psums=psums,
+            macs=layer.macs,
+            iterations=iterations,
+            multipliers_used=mapping.multipliers_used,
+            array_size=self.config.ms_size,
+            traffic=traffic,
+            phase_cycles={"fill": fill, "steady": steady},
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run_conv(self, layer: ConvLayer, mapping: ConvMapping) -> SimulationStats:
+        """Simulate a conv2d layer under ``mapping``; returns its stats."""
+        mapping.validate_for(layer, self.config.ms_size)
+        profile = self._conv_profile(layer, mapping)
+        return self._simulate(
+            layer,
+            mapping,
+            profile,
+            red_folds=mapping.reduction_folds(layer),
+            iterations=mapping.iterations(layer),
+            psums=self.conv_psums(layer, mapping),
+        )
+
+    def run_fc(self, layer: FcLayer, mapping: FcMapping) -> SimulationStats:
+        """Simulate a dense layer under ``mapping``; returns its stats."""
+        mapping.validate_for(layer, self.config.ms_size)
+        profile = self._fc_profile(layer, mapping)
+        return self._simulate(
+            layer,
+            mapping,
+            profile,
+            red_folds=mapping.reduction_folds(layer),
+            iterations=mapping.iterations(layer),
+            psums=self.fc_psums(layer, mapping),
+        )
+
+    def estimate_conv_psums(self, layer: ConvLayer, mapping: ConvMapping) -> int:
+        """Fast psum estimate without running the cycle model (§VII-B).
+
+        STONNE computes the psum count "in less than a second" because no
+        execution is needed; here it is a closed form.
+        """
+        mapping.validate_for(layer, self.config.ms_size)
+        return self.conv_psums(layer, mapping)
+
+    def estimate_fc_psums(self, layer: FcLayer, mapping: FcMapping) -> int:
+        """Fast psum estimate for a dense layer (no cycle simulation)."""
+        mapping.validate_for(layer, self.config.ms_size)
+        return self.fc_psums(layer, mapping)

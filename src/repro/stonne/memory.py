@@ -1,0 +1,95 @@
+"""On-chip memory models: global buffer and accumulation buffer.
+
+The global buffer sources operands into the distribution network and sinks
+final outputs; we model it as bandwidth-matched to the networks (STONNE's
+default), so it never throttles beyond ``dn_bw``/``rn_bw``.  What *does*
+matter for cycle counts is the accumulation buffer:
+
+* a **partial** output (a psum that will be revisited by a later temporal
+  fold) performs a read-modify-write, occupying the reduction port for
+  :data:`~repro.stonne.params.CycleModelParams.rmw_occupancy` slots;
+* when consecutive tile iterations accumulate into the *same* output
+  elements (i.e. the innermost temporal loop walks a reduction dimension),
+  a read-after-write hazard inserts
+  :data:`~repro.stonne.params.CycleModelParams.acc_raw_latency` stall
+  cycles per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class AccumulationBuffer:
+    """Accumulation buffer with RMW-hazard accounting.
+
+    Args:
+        enabled: Whether the architecture has an accumulation buffer at
+            all.  Without one, partial sums spill to the global buffer and
+            are re-fetched, doubling the psum traffic (STONNE models rigid
+            architectures this way; MAERI defaults to enabled).
+        raw_latency: Stall cycles for a same-address read-after-write.
+    """
+
+    enabled: bool = True
+    raw_latency: int = 2
+    reads: int = field(default=0, init=False)
+    writes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.raw_latency < 0:
+            raise SimulationError(f"raw_latency must be >= 0, got {self.raw_latency}")
+
+    def record_partial_writes(self, count: int) -> None:
+        """Account a batch of partial-output read-modify-writes."""
+        if count < 0:
+            raise SimulationError("negative write count")
+        self.reads += count
+        self.writes += count
+
+    def record_final_writes(self, count: int) -> None:
+        if count < 0:
+            raise SimulationError("negative write count")
+        self.writes += count
+
+    def hazard_stall(self, same_outputs_as_previous: bool) -> int:
+        """Stall cycles between two iterations.
+
+        Only iterations that revisit the same output addresses (temporal
+        reduction folds) pay the RAW latency.
+        """
+        if not same_outputs_as_previous:
+            return 0
+        return self.raw_latency if self.enabled else 2 * self.raw_latency
+
+    def spill_factor(self) -> int:
+        """Psum traffic multiplier when there is no accumulation buffer."""
+        return 1 if self.enabled else 2
+
+
+@dataclass(frozen=True)
+class GlobalBuffer:
+    """The SRAM feeding the distribution network.
+
+    Modelled as bandwidth-matched: ``read_bandwidth`` equals the
+    distribution network's and ``write_bandwidth`` the reduction
+    network's, so the networks are the binding constraint.  The class
+    exists so capacity checks and traffic accounting have a home.
+    """
+
+    read_bandwidth: int
+    write_bandwidth: int
+    capacity_elements: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth < 1 or self.write_bandwidth < 1:
+            raise SimulationError("global buffer bandwidths must be >= 1")
+        if self.capacity_elements < 1:
+            raise SimulationError("global buffer capacity must be >= 1")
+
+    def fits(self, working_set_elements: int) -> bool:
+        """Whether a layer's working set fits without DRAM refetch."""
+        return working_set_elements <= self.capacity_elements

@@ -1,0 +1,85 @@
+"""Multiplier network models.
+
+Two topologies from STONNE (Table III):
+
+* :class:`LinearMultiplierNetwork` (``LINEAR``) — MAERI/SIGMA's 1-D chain
+  of multiplier switches.  The array is *partitioned* into virtual neurons
+  by the mapping; every occupied multiplier retires one MAC per cycle.
+* :class:`OSMeshNetwork` (``OS_MESH``) — the TPU's 2-D output-stationary
+  mesh of ``rows x cols`` PEs executing the classic systolic schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError, SimulationError
+
+
+@dataclass(frozen=True)
+class LinearMultiplierNetwork:
+    """A linear array of ``size`` multiplier switches."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise SimulationError(f"multiplier array size must be >= 1, got {self.size}")
+
+    def check_fit(self, vn_size: int, num_vns: int) -> None:
+        """Raise unless ``num_vns`` VNs of ``vn_size`` fit in the array."""
+        needed = vn_size * num_vns
+        if needed > self.size:
+            raise MappingError(
+                f"mapping needs {needed} multipliers "
+                f"({num_vns} VNs x {vn_size}) but the array has {self.size}"
+            )
+
+    def compute_cycles(self, macs_per_iteration: int, multipliers_used: int) -> int:
+        """Cycles the array needs to retire one iteration's MACs.
+
+        With every occupied multiplier doing one MAC per cycle, an
+        iteration that issues exactly one MAC per occupied PE takes a
+        single cycle; oversubscribed iterations (more MACs than PEs, which
+        SIGMA's auto-tiling can produce) serialize.
+        """
+        if multipliers_used < 1:
+            raise SimulationError("an iteration must occupy at least one multiplier")
+        if macs_per_iteration < 0:
+            raise SimulationError("negative MAC count")
+        if macs_per_iteration == 0:
+            return 0
+        return -(-macs_per_iteration // multipliers_used)
+
+
+@dataclass(frozen=True)
+class OSMeshNetwork:
+    """An output-stationary ``rows x cols`` systolic mesh (the TPU)."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise SimulationError(
+                f"mesh dimensions must be >= 1, got {self.rows}x{self.cols}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def tile_cycles(self, reduction_length: int, fill_drain_factor: int = 1) -> int:
+        """Cycles for one output tile of ``rows x cols`` results.
+
+        The classic systolic formula: operands skew in across the mesh
+        diagonals (fill), ``reduction_length`` MACs stream through every
+        PE, then results drain.  Fill + drain together cost
+        ``(rows + cols - 2) * fill_drain_factor`` extra cycles.
+        """
+        if reduction_length < 1:
+            raise SimulationError(
+                f"reduction length must be >= 1, got {reduction_length}"
+            )
+        fill_drain = (self.rows + self.cols - 2) * fill_drain_factor
+        return reduction_length + fill_drain + 1

@@ -1,0 +1,146 @@
+"""Reduction network models.
+
+Three fabrics from STONNE (Table III):
+
+* :class:`ARTNetwork` (``ASNETWORK``) — MAERI's Augmented Reduction Tree: a
+  fat tree of adder switches that can be partitioned into independent
+  sub-trees, one per virtual neuron.  Spatial reduction of a VN of size
+  ``v`` is pipelined with depth ``ceil(log2(v))``.
+* :class:`FENetwork` (``FENETWORK``) — the STIFT-style forwarding fabric
+  SIGMA uses; functionally equivalent for our purposes but with a
+  forwarding-adder latency of 1 regardless of VN size (spatio-temporal
+  reduction), at the cost of one extra psum forward per level.
+* :class:`TemporalRN` (``TEMPORALRN``) — no spatial adders at all; every
+  partial sum is accumulated temporally in the accumulation buffer.  Rigid
+  architectures (the TPU) use this.
+
+All three expose the same interface so the engine is fabric-agnostic:
+``cycles_to_collect`` (port bandwidth), ``reduction_latency`` (pipeline
+fill) and ``spatial_psums`` (the psum counter contribution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.stonne.layer import ceil_div
+
+
+@dataclass(frozen=True)
+class ReductionNetworkBase:
+    """Shared behaviour: a bandwidth-limited collection port.
+
+    Args:
+        bandwidth: Output elements accepted per cycle (``rn_bw``).
+        rmw_occupancy: Port slots a *partial* output occupies (the
+            accumulation-buffer read-modify-write round trip).
+    """
+
+    bandwidth: int
+    rmw_occupancy: int = 3
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 1:
+            raise SimulationError(f"rn bandwidth must be >= 1, got {self.bandwidth}")
+        if self.rmw_occupancy < 1:
+            raise SimulationError(
+                f"rmw occupancy must be >= 1, got {self.rmw_occupancy}"
+            )
+
+    def cycles_to_collect(self, outputs: int, partial: bool) -> int:
+        """Steady-state cycles to drain ``outputs`` results.
+
+        Partial outputs (``partial=True``) cost ``rmw_occupancy`` slots each
+        because they must be read from, added to and written back into the
+        accumulation buffer; final outputs stream straight to the buffer.
+        """
+        if outputs < 0:
+            raise SimulationError(f"cannot collect a negative output count: {outputs}")
+        if outputs == 0:
+            return 0
+        occupancy = self.rmw_occupancy if partial else 1
+        return ceil_div(outputs * occupancy, self.bandwidth)
+
+    # Subclasses override the two methods below. ------------------------
+    def reduction_latency(self, vn_size: int) -> int:
+        raise NotImplementedError
+
+    def spatial_psums(self, vn_size: int, num_vns: int) -> int:
+        """Partial sums generated *inside* the fabric per iteration."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ARTNetwork(ReductionNetworkBase):
+    """MAERI's augmented reduction tree (``ASNETWORK``)."""
+
+    def reduction_latency(self, vn_size: int) -> int:
+        """Adder-tree depth for one virtual neuron (pipeline fill)."""
+        if vn_size < 1:
+            raise SimulationError(f"vn_size must be >= 1, got {vn_size}")
+        return math.ceil(math.log2(vn_size)) if vn_size > 1 else 0
+
+    def spatial_psums(self, vn_size: int, num_vns: int) -> int:
+        """A VN of size ``v`` performs ``v - 1`` adds, each emitting a psum."""
+        return num_vns * max(0, vn_size - 1)
+
+
+@dataclass(frozen=True)
+class FENetwork(ReductionNetworkBase):
+    """STIFT-style forwarding adder network (``FENETWORK``).
+
+    Reduction happens by forwarding psums between neighbouring adders, so
+    the latency is linear in the VN size but each hop is a single cheap
+    forward; we model latency as ``vn_size - 1`` capped by the tree depth
+    the fabric falls back to, and one extra forwarded psum per adder.
+    """
+
+    def reduction_latency(self, vn_size: int) -> int:
+        if vn_size < 1:
+            raise SimulationError(f"vn_size must be >= 1, got {vn_size}")
+        if vn_size == 1:
+            return 0
+        return min(vn_size - 1, 2 * math.ceil(math.log2(vn_size)))
+
+    def spatial_psums(self, vn_size: int, num_vns: int) -> int:
+        """Forwarding generates a psum per hop: also ``v - 1`` per VN."""
+        return num_vns * max(0, vn_size - 1)
+
+
+@dataclass(frozen=True)
+class TemporalRN(ReductionNetworkBase):
+    """Purely temporal reduction (``TEMPORALRN``), used by the TPU.
+
+    There are no spatial adders; every multiplier output is a psum that
+    the accumulation buffer folds in place, so the in-fabric latency is
+    zero and the spatial psum count is zero (the accumulation writes are
+    accounted by the engine instead).
+    """
+
+    def reduction_latency(self, vn_size: int) -> int:
+        if vn_size != 1:
+            raise SimulationError(
+                f"TEMPORALRN cannot spatially reduce (vn_size={vn_size})"
+            )
+        return 0
+
+    def spatial_psums(self, vn_size: int, num_vns: int) -> int:
+        return 0
+
+
+def make_reduction_network(kind: str, bandwidth: int, rmw_occupancy: int = 3):
+    """Factory keyed by the Table III option string."""
+    networks = {
+        "ASNETWORK": ARTNetwork,
+        "FENETWORK": FENetwork,
+        "TEMPORALRN": TemporalRN,
+    }
+    try:
+        cls = networks[kind]
+    except KeyError:
+        raise SimulationError(
+            f"unknown reduction network {kind!r}; expected one of {sorted(networks)}"
+        ) from None
+    return cls(bandwidth=bandwidth, rmw_occupancy=rmw_occupancy)

@@ -1,0 +1,226 @@
+"""The STONNE facade: one entry point over the three controllers.
+
+:class:`Stonne` mirrors how Bifrost drives STONNE (§V): create an
+instance per layer execution, configure it with an architecture and a
+mapping, load the layer, run, and read back outputs and statistics.
+
+The functional datapath is mapping-invariant — a mapping changes *when*
+each MAC happens, never its value — so outputs are produced by an exact
+im2col GEMM while the cycle/psum accounting follows the mapping.  The test
+suite verifies functional outputs against the :mod:`repro.topi` reference
+implementations for every architecture, which is the correctness check
+Bifrost performs through TVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError, UnsupportedLayerError
+from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer
+from repro.stonne.magma import MagmaController
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.maeri import MaeriController
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+from repro.stonne.sigma import SigmaController
+from repro.stonne.stats import SimulationStats
+from repro.stonne.tpu import TpuController
+
+
+@dataclass
+class SimulationResult:
+    """Output tensor plus the statistics of the simulated execution."""
+
+    output: Optional[np.ndarray]
+    stats: SimulationStats
+
+
+def _im2col(data: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Lower an NCHW input tensor to the (C*R*S) x (P*Q) im2col matrix."""
+    n, c, h, w = data.shape
+    if (n, c, h, w) != (layer.N, layer.C, layer.H, layer.W):
+        raise SimulationError(
+            f"input shape {data.shape} does not match layer "
+            f"({layer.N},{layer.C},{layer.H},{layer.W})"
+        )
+    padded = np.pad(
+        data,
+        ((0, 0), (0, 0), (layer.pad_h, layer.pad_h), (layer.pad_w, layer.pad_w)),
+        mode="constant",
+    )
+    p, q = layer.P, layer.Q
+    cols = np.empty((c * layer.R * layer.S, p * q), dtype=padded.dtype)
+    idx = 0
+    for ch in range(c):
+        for r in range(layer.R):
+            for s in range(layer.S):
+                patch = padded[
+                    0,
+                    ch,
+                    r : r + p * layer.stride_h : layer.stride_h,
+                    s : s + q * layer.stride_w : layer.stride_w,
+                ]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return cols
+
+
+def _conv_via_gemm(
+    data: np.ndarray, weights: np.ndarray, layer: ConvLayer
+) -> np.ndarray:
+    """Exact NCHW convolution through the im2col GEMM primitive.
+
+    ``weights`` is KCRS.  Grouped convolutions slice channel blocks and
+    run one GEMM per group, the same decomposition STONNE uses.
+    """
+    k, c_per_g, r, s = weights.shape
+    if (k, c_per_g, r, s) != (layer.K, layer.C // layer.G, layer.R, layer.S):
+        raise SimulationError(
+            f"weight shape {weights.shape} does not match layer "
+            f"({layer.K},{layer.C // layer.G},{layer.R},{layer.S})"
+        )
+    p, q = layer.P, layer.Q
+    out = np.empty((1, layer.K, p, q), dtype=np.result_type(data, weights))
+    k_per_g = layer.K // layer.G
+    for g in range(layer.G):
+        sub_layer = ConvLayer(
+            name=layer.name,
+            C=c_per_g,
+            H=layer.H,
+            W=layer.W,
+            K=k_per_g,
+            R=r,
+            S=s,
+            stride_h=layer.stride_h,
+            stride_w=layer.stride_w,
+            pad_h=layer.pad_h,
+            pad_w=layer.pad_w,
+        )
+        cols = _im2col(
+            data[:, g * c_per_g : (g + 1) * c_per_g], sub_layer
+        )
+        w_mat = weights[g * k_per_g : (g + 1) * k_per_g].reshape(k_per_g, -1)
+        out[0, g * k_per_g : (g + 1) * k_per_g] = (w_mat @ cols).reshape(k_per_g, p, q)
+    return out
+
+
+class Stonne:
+    """A configured simulator instance (one per layer execution, like STONNE).
+
+    Args:
+        config: Validated hardware configuration.
+        params: Cycle-model calibration constants (tests/ablations only).
+    """
+
+    def __init__(
+        self,
+        config: SimulatorConfig,
+        params: CycleModelParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.config = config
+        self.params = params
+        self._maeri: Optional[MaeriController] = None
+        self._sigma: Optional[SigmaController] = None
+        self._tpu: Optional[TpuController] = None
+        self._magma: Optional[MagmaController] = None
+        if config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
+            self._maeri = MaeriController(config, params)
+        elif config.controller_type is ControllerType.SIGMA_SPARSE_GEMM:
+            self._sigma = SigmaController(config, params)
+        elif config.controller_type is ControllerType.MAGMA_SPARSE_DENSE:
+            self._magma = MagmaController(config, params)
+        else:
+            self._tpu = TpuController(config, params)
+
+    # ------------------------------------------------------------------
+    def run_conv2d(
+        self,
+        layer: ConvLayer,
+        mapping: Optional[ConvMapping] = None,
+        data: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> SimulationResult:
+        """Simulate a conv2d layer; optionally compute its output.
+
+        MAERI requires a ``mapping`` (falling back to the basic all-ones
+        mapping, like Bifrost's default); SIGMA and the TPU ignore it —
+        their dataflow is fixed or controller-generated.
+        """
+        if self._maeri is not None:
+            stats = self._maeri.run_conv(layer, mapping or ConvMapping.basic())
+        elif self._sigma is not None:
+            stats = self._sigma.run_conv(layer)
+        elif self._magma is not None:
+            stats = self._magma.run_conv(layer)
+        else:
+            assert self._tpu is not None
+            stats = self._tpu.run_conv(layer)
+
+        output = None
+        if data is not None:
+            if weights is None:
+                raise SimulationError("conv2d needs weights when data is given")
+            output = _conv_via_gemm(
+                np.asarray(data, dtype=np.float64),
+                np.asarray(weights, dtype=np.float64),
+                layer,
+            )
+        return SimulationResult(output=output, stats=stats)
+
+    def run_dense(
+        self,
+        layer: FcLayer,
+        mapping: Optional[FcMapping] = None,
+        data: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> SimulationResult:
+        """Simulate a dense layer; optionally compute its output.
+
+        ``data`` is (batch, in_features); ``weights`` is
+        (out_features, in_features), PyTorch's ``nn.Linear`` convention.
+        """
+        if self._maeri is not None:
+            stats = self._maeri.run_fc(layer, mapping or FcMapping.basic())
+        elif self._sigma is not None:
+            stats = self._sigma.run_fc(layer)
+        elif self._magma is not None:
+            stats = self._magma.run_fc(layer)
+        else:
+            assert self._tpu is not None
+            stats = self._tpu.run_fc(layer)
+
+        output = None
+        if data is not None:
+            if weights is None:
+                raise SimulationError("dense needs weights when data is given")
+            data = np.asarray(data, dtype=np.float64)
+            weights = np.asarray(weights, dtype=np.float64)
+            if data.shape != (layer.batch, layer.in_features):
+                raise SimulationError(
+                    f"dense input shape {data.shape} does not match layer "
+                    f"({layer.batch},{layer.in_features})"
+                )
+            if weights.shape != (layer.out_features, layer.in_features):
+                raise SimulationError(
+                    f"dense weight shape {weights.shape} does not match layer "
+                    f"({layer.out_features},{layer.in_features})"
+                )
+            output = data @ weights.T
+        return SimulationResult(output=output, stats=stats)
+
+    def run_gemm(self, gemm: GemmLayer) -> SimulationResult:
+        """Simulate a raw GEMM (SIGMA, MAGMA and TPU only)."""
+        if self._sigma is not None:
+            return SimulationResult(output=None, stats=self._sigma.run_gemm(gemm))
+        if self._magma is not None:
+            return SimulationResult(output=None, stats=self._magma.run_gemm(gemm))
+        if self._tpu is not None:
+            return SimulationResult(output=None, stats=self._tpu.run_gemm(gemm))
+        raise UnsupportedLayerError(
+            "raw GEMM workloads require SIGMA, MAGMA or TPU; "
+            "MAERI runs conv2d/dense"
+        )

@@ -1,0 +1,90 @@
+"""Sparsity utilities: magnitude pruning and bitmap compression.
+
+SIGMA consumes weight tensors in a bitmap-compressed format; Bifrost's
+evaluation prunes AlexNet to fixed sparsity ratios (Figure 9).  These
+helpers produce deterministically pruned tensors and the bitmap encoding
+the memory controller would stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def prune_to_sparsity(weights: np.ndarray, sparsity_ratio: int) -> np.ndarray:
+    """Magnitude-prune ``weights`` so ``sparsity_ratio`` percent are zero.
+
+    The smallest-magnitude elements are zeroed, matching the standard
+    pruning recipe the paper's Figure 9 assumes.  The input is not
+    modified.  ``sparsity_ratio`` is an integer percentage in [0, 100].
+    """
+    if not 0 <= sparsity_ratio <= 100:
+        raise SimulationError(
+            f"sparsity_ratio must be in [0, 100], got {sparsity_ratio}"
+        )
+    pruned = np.array(weights, dtype=np.float64, copy=True)
+    if sparsity_ratio == 0:
+        return pruned
+    flat = pruned.reshape(-1)
+    n_zero = int(round(flat.size * sparsity_ratio / 100.0))
+    if n_zero >= flat.size:
+        return np.zeros_like(pruned)
+    if n_zero == 0:
+        return pruned
+    order = np.argsort(np.abs(flat), kind="stable")
+    flat[order[:n_zero]] = 0.0
+    return pruned
+
+
+def measured_sparsity(weights: np.ndarray) -> float:
+    """Fraction of exactly-zero elements in ``weights``."""
+    if weights.size == 0:
+        raise SimulationError("cannot measure sparsity of an empty tensor")
+    return float(np.count_nonzero(weights == 0.0)) / weights.size
+
+
+@dataclass(frozen=True)
+class BitmapTensor:
+    """Bitmap-compressed sparse tensor (SIGMA's on-wire format).
+
+    ``bitmap`` marks non-zero positions; ``values`` holds the non-zeros in
+    row-major order.  Decompression is exact.
+    """
+
+    shape: Tuple[int, ...]
+    bitmap: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def compress(cls, dense: np.ndarray) -> "BitmapTensor":
+        mask = dense != 0.0
+        return cls(
+            shape=tuple(dense.shape),
+            bitmap=mask.reshape(-1).copy(),
+            values=dense.reshape(-1)[mask.reshape(-1)].copy(),
+        )
+
+    def decompress(self) -> np.ndarray:
+        dense = np.zeros(int(np.prod(self.shape)), dtype=self.values.dtype)
+        dense[self.bitmap] = self.values
+        return dense.reshape(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def density(self) -> float:
+        total = int(np.prod(self.shape))
+        return self.nnz / total if total else 0.0
+
+    @property
+    def compressed_elements(self) -> int:
+        """Storage in value-slots: non-zeros plus the bitmap (1/32 each)."""
+        total_bits = int(np.prod(self.shape))
+        return self.nnz + -(-total_bits // 32)

@@ -1,0 +1,71 @@
+"""Elementwise activation operators (CPU-side in Bifrost)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LayerError
+
+
+def relu(data: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(data, 0.0)
+
+
+def leaky_relu(data: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Leaky ReLU with negative slope ``alpha``."""
+    return np.where(data >= 0.0, data, alpha * data)
+
+
+def sigmoid(data: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(data, dtype=np.float64)
+    pos = data >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-data[pos]))
+    exp_x = np.exp(data[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def tanh(data: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(data)
+
+
+def softmax(data: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = data - np.max(data, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(data: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = data - np.max(data, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def dropout_inference(data: np.ndarray) -> np.ndarray:
+    """Dropout at inference time is the identity (scaling happened at train)."""
+    return data
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "leaky_relu": leaky_relu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "softmax": softmax,
+    "log_softmax": log_softmax,
+}
+
+
+def apply_activation(name: str, data: np.ndarray) -> np.ndarray:
+    """Dispatch an activation by name; raises on unknown names."""
+    try:
+        fn = ACTIVATIONS[name]
+    except KeyError:
+        raise LayerError(
+            f"unknown activation {name!r}; expected one of {sorted(ACTIVATIONS)}"
+        ) from None
+    return fn(data)

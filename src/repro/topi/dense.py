@@ -1,0 +1,49 @@
+"""Dense (fully connected) reference operators.
+
+TVM splits a fully connected layer into a ``dense`` matmul plus an
+optional ``bias_add``/activation; only the matmul is offloaded to the
+accelerator (§V-A), so the operators here mirror that split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LayerError
+
+
+def dense(data: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``(batch, in) @ (out, in)^T -> (batch, out)`` (nn.Linear convention)."""
+    if data.ndim != 2 or weights.ndim != 2:
+        raise LayerError(
+            f"dense expects 2-D tensors, got {data.shape} and {weights.shape}"
+        )
+    if data.shape[1] != weights.shape[1]:
+        raise LayerError(
+            f"dense reduction mismatch: data {data.shape} vs weights {weights.shape}"
+        )
+    return data @ weights.T
+
+
+def bias_add(data: np.ndarray, bias: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Broadcast-add a 1-D bias along ``axis``."""
+    if bias.ndim != 1:
+        raise LayerError(f"bias must be 1-D, got shape {bias.shape}")
+    axis = axis % data.ndim
+    if data.shape[axis] != bias.shape[0]:
+        raise LayerError(
+            f"bias length {bias.shape[0]} does not match axis {axis} "
+            f"of data shape {data.shape}"
+        )
+    shape = [1] * data.ndim
+    shape[axis] = bias.shape[0]
+    return data + bias.reshape(shape)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain ``(M, K) @ (K, N)`` matrix multiplication."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise LayerError(f"matmul expects 2-D tensors, got {a.shape} and {b.shape}")
+    if a.shape[1] != b.shape[0]:
+        raise LayerError(f"matmul shape mismatch: {a.shape} @ {b.shape}")
+    return a @ b

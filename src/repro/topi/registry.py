@@ -1,0 +1,196 @@
+"""Operator strategy registry (TVM's "Relay Operator Strategy" analog).
+
+The runtime never calls operator implementations directly: it asks the
+registry for the implementation of an op on a *target* ("cpu" or
+"stonne").  External libraries — in this reproduction, the STONNE-Bifrost
+API — register themselves under the "stonne" target exactly the way TVM
+external libraries hook into TOPI, and the executor transparently offloads
+to them (§IV).
+
+A strategy entry is a callable ``impl(attrs, inputs) -> np.ndarray`` where
+``attrs`` is the node's attribute dict and ``inputs`` the already-computed
+input tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+_Impl = Callable[[dict, List[np.ndarray]], np.ndarray]
+
+#: (op_name, target) -> implementation
+_REGISTRY: Dict[Tuple[str, str], _Impl] = {}
+
+
+def register_op(op_name: str, target: str, override: bool = False):
+    """Decorator registering ``fn`` as the ``op_name`` strategy on ``target``."""
+
+    def decorator(fn: _Impl) -> _Impl:
+        key = (op_name, target)
+        if key in _REGISTRY and not override:
+            raise GraphError(
+                f"operator {op_name!r} already registered for target {target!r}; "
+                "pass override=True to replace it"
+            )
+        _REGISTRY[key] = fn
+        return fn
+
+    return decorator
+
+
+def lookup_op(op_name: str, target: str) -> _Impl:
+    """The implementation for ``op_name`` on ``target``; raises if missing."""
+    try:
+        return _REGISTRY[(op_name, target)]
+    except KeyError:
+        raise GraphError(
+            f"no implementation of operator {op_name!r} for target {target!r}"
+        ) from None
+
+
+def has_op(op_name: str, target: str) -> bool:
+    return (op_name, target) in _REGISTRY
+
+
+def registered_ops(target: str) -> List[str]:
+    """All op names with an implementation on ``target``, sorted."""
+    return sorted(name for name, tgt in _REGISTRY if tgt == target)
+
+
+def unregister_op(op_name: str, target: str) -> None:
+    """Remove a registration (used by tests to isolate state)."""
+    _REGISTRY.pop((op_name, target), None)
+
+
+# ----------------------------------------------------------------------
+# CPU strategies for every op in the inventory
+# ----------------------------------------------------------------------
+def _register_cpu_strategies() -> None:
+    # Resolve the submodules through importlib: the package __init__
+    # re-exports functions whose names shadow the submodule attributes
+    # (e.g. ``repro.topi.dense``), which plain ``import ... as`` would bind.
+    import importlib
+
+    activations = importlib.import_module("repro.topi.activations")
+    conv2d = importlib.import_module("repro.topi.conv2d")
+    dense = importlib.import_module("repro.topi.dense")
+    normalization = importlib.import_module("repro.topi.normalization")
+    pooling = importlib.import_module("repro.topi.pooling")
+
+    @register_op("conv2d", "cpu")
+    def _conv2d_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        layout = attrs.get("data_layout", "NCHW")
+        fn = conv2d.conv2d_nchw if layout == "NCHW" else conv2d.conv2d_nhwc
+        return fn(
+            inputs[0],
+            inputs[1],
+            strides=tuple(attrs.get("strides", (1, 1))),
+            padding=tuple(attrs.get("padding", (0, 0))),
+            dilation=tuple(attrs.get("dilation", (1, 1))),
+            groups=attrs.get("groups", 1),
+        )
+
+    @register_op("dense", "cpu")
+    def _dense_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return dense.dense(inputs[0], inputs[1])
+
+    @register_op("bias_add", "cpu")
+    def _bias_add_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return dense.bias_add(inputs[0], inputs[1], axis=attrs.get("axis", -1))
+
+    @register_op("matmul", "cpu")
+    def _matmul_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return dense.matmul(inputs[0], inputs[1])
+
+    @register_op("relu", "cpu")
+    def _relu_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return activations.relu(inputs[0])
+
+    @register_op("leaky_relu", "cpu")
+    def _leaky_relu_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return activations.leaky_relu(inputs[0], alpha=attrs.get("alpha", 0.01))
+
+    @register_op("sigmoid", "cpu")
+    def _sigmoid_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return activations.sigmoid(inputs[0])
+
+    @register_op("tanh", "cpu")
+    def _tanh_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return activations.tanh(inputs[0])
+
+    @register_op("softmax", "cpu")
+    def _softmax_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return activations.softmax(inputs[0], axis=attrs.get("axis", -1))
+
+    @register_op("log_softmax", "cpu")
+    def _log_softmax_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return activations.log_softmax(inputs[0], axis=attrs.get("axis", -1))
+
+    @register_op("dropout", "cpu")
+    def _dropout_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return activations.dropout_inference(inputs[0])
+
+    @register_op("max_pool2d", "cpu")
+    def _max_pool_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return pooling.max_pool2d(
+            inputs[0],
+            pool_size=tuple(attrs.get("pool_size", (2, 2))),
+            strides=tuple(attrs.get("strides", (2, 2))),
+            padding=tuple(attrs.get("padding", (0, 0))),
+        )
+
+    @register_op("avg_pool2d", "cpu")
+    def _avg_pool_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return pooling.avg_pool2d(
+            inputs[0],
+            pool_size=tuple(attrs.get("pool_size", (2, 2))),
+            strides=tuple(attrs.get("strides", (2, 2))),
+            padding=tuple(attrs.get("padding", (0, 0))),
+        )
+
+    @register_op("adaptive_avg_pool2d", "cpu")
+    def _adaptive_avg_pool_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return pooling.adaptive_avg_pool2d(
+            inputs[0], output_size=tuple(attrs["output_size"])
+        )
+
+    @register_op("flatten", "cpu")
+    def _flatten_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return pooling.flatten(inputs[0])
+
+    @register_op("batch_norm", "cpu")
+    def _batch_norm_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return normalization.batch_norm_inference(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4],
+            epsilon=attrs.get("epsilon", 1e-5),
+            axis=attrs.get("axis", 1),
+        )
+
+    @register_op("lrn", "cpu")
+    def _lrn_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return normalization.lrn(
+            inputs[0],
+            size=attrs.get("size", 5),
+            alpha=attrs.get("alpha", 1e-4),
+            beta=attrs.get("beta", 0.75),
+            k=attrs.get("k", 2.0),
+        )
+
+    @register_op("add", "cpu")
+    def _add_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return inputs[0] + inputs[1]
+
+    @register_op("multiply", "cpu")
+    def _multiply_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return inputs[0] * inputs[1]
+
+    @register_op("reshape", "cpu")
+    def _reshape_cpu(attrs: dict, inputs: List[np.ndarray]) -> np.ndarray:
+        return inputs[0].reshape(tuple(attrs["newshape"]))
+
+
+_register_cpu_strategies()

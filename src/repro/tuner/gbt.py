@@ -1,0 +1,180 @@
+"""Gradient-boosted regression trees on NumPy (XGBoost stand-in).
+
+The XGBoost tuner in AutoTVM fits a surrogate cost model over measured
+configs and ranks unmeasured ones by predicted cost.  xgboost itself is
+not installed offline, so this module implements the minimum viable
+equivalent: least-squares boosting of depth-limited regression trees with
+shrinkage.  It is deliberately simple — exact greedy splits over all
+features, no column subsampling — because tuning spaces here are small
+(hundreds to tens of thousands of points, <= 8 features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TuningError
+
+
+@dataclass
+class _TreeNode:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+
+class RegressionTree:
+    """A depth-limited CART regression tree with exact greedy splits."""
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 2) -> None:
+        if max_depth < 1:
+            raise TuningError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise TuningError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise TuningError(
+                f"bad training shapes: x {x.shape}, y {y.shape}"
+            )
+        if x.shape[0] == 0:
+            raise TuningError("cannot fit a tree on zero samples")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(y.mean()))
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            return node
+        best = self._best_split(x, y)
+        if best is None:
+            return node
+        feature, threshold, mask = best
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """Exact greedy split minimizing summed squared error."""
+        best_gain = 1e-12
+        best = None
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        for feature in range(x.shape[1]):
+            column = x[:, feature]
+            candidates = np.unique(column)
+            if candidates.size < 2:
+                continue
+            midpoints = (candidates[:-1] + candidates[1:]) / 2.0
+            if midpoints.size > 32:
+                # Histogram-style split finding: cap the threshold count
+                # at 32 quantiles, the standard trick to keep exact greedy
+                # splitting O(features x 32 x n) instead of O(features x n^2).
+                midpoints = np.unique(
+                    np.quantile(midpoints, np.linspace(0, 1, 32))
+                )
+            for threshold in midpoints:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if (
+                    n_left < self.min_samples_leaf
+                    or y.size - n_left < self.min_samples_leaf
+                ):
+                    continue
+                left, right = y[mask], y[~mask]
+                sse = float(((left - left.mean()) ** 2).sum()) + float(
+                    ((right - right.mean()) ** 2).sum()
+                )
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold), mask)
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise TuningError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while node.feature is not None:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.value
+        return out
+
+
+class GradientBoostedTrees:
+    """Least-squares gradient boosting with shrinkage.
+
+    Args:
+        n_estimators: Boosting rounds.
+        learning_rate: Shrinkage applied to every tree's contribution.
+        max_depth: Depth of each regression tree.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        learning_rate: float = 0.2,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+    ) -> None:
+        if n_estimators < 1:
+            raise TuningError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise TuningError(
+                f"learning_rate must be in (0, 1], got {learning_rate}"
+            )
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._base: float = 0.0
+        self._trees: List[RegressionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise TuningError(f"bad training shapes: x {x.shape}, y {y.shape}")
+        self._base = float(y.mean())
+        self._trees = []
+        residual = y - self._base
+        for _ in range(self.n_estimators):
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            ).fit(x, residual)
+            update = tree.predict(x)
+            residual = residual - self.learning_rate * update
+            self._trees.append(tree)
+            if float(np.abs(residual).max(initial=0.0)) < 1e-12:
+                break
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.full(x.shape[0], self._base)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(x)
+        return out
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)

@@ -1,0 +1,156 @@
+"""Measurement: turning a config into a cost (AutoTVM's measure step).
+
+The paper's key departure from stock AutoTVM (§VII-B): *latency is not a
+valid cost on a simulator*, because simulation wall time is uncorrelated
+with simulated performance.  Bifrost instead optimizes ``cycles`` (exact
+but expensive — a full simulation per trial) or ``psums`` (a cheap proxy
+computed in closed form).  :class:`MaeriConvTask` and :class:`MaeriFcTask`
+expose both objectives over the mapping spaces of :mod:`repro.tuner.space`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import MappingError, TuningError
+from repro.stonne.config import SimulatorConfig
+from repro.stonne.layer import ConvLayer, FcLayer
+from repro.stonne.maeri import MaeriController
+from repro.tuner.space import (
+    Config,
+    ConfigSpace,
+    config_to_conv_mapping,
+    config_to_fc_mapping,
+    conv_mapping_space,
+    fc_mapping_space,
+)
+
+#: Cost returned for configs that violate hard constraints.
+INVALID_COST = float("inf")
+
+VALID_OBJECTIVES = ("cycles", "psums", "energy")
+
+
+def _check_objective(objective: str) -> None:
+    if objective not in VALID_OBJECTIVES:
+        raise TuningError(
+            f"objective must be one of {VALID_OBJECTIVES}, got {objective!r}"
+        )
+
+
+@dataclass
+class MeasureResult:
+    """One measurement: the config, its cost, and the objective used."""
+
+    config: Config
+    cost: float
+    objective: str
+
+    @property
+    def valid(self) -> bool:
+        return self.cost != INVALID_COST
+
+
+class TuningTask:
+    """A search problem: a config space plus an evaluation function.
+
+    Subclasses implement :meth:`evaluate`.  Costs are minimized; invalid
+    configs return :data:`INVALID_COST` so tuners can skip them without
+    special-casing exceptions.
+    """
+
+    def __init__(self, space: ConfigSpace, objective: str) -> None:
+        _check_objective(objective)
+        self.space = space
+        self.objective = objective
+        self.num_measurements = 0
+
+    def evaluate(self, config: Config) -> float:
+        raise NotImplementedError
+
+    def measure(self, config: Config) -> MeasureResult:
+        """Evaluate one config, recording the measurement count."""
+        self.num_measurements += 1
+        if not self.space.is_valid(config):
+            return MeasureResult(config=config, cost=INVALID_COST,
+                                 objective=self.objective)
+        try:
+            cost = self.evaluate(config)
+        except MappingError:
+            cost = INVALID_COST
+        return MeasureResult(config=config, cost=cost, objective=self.objective)
+
+
+class MaeriConvTask(TuningTask):
+    """Tune the conv mapping of ``layer`` on a MAERI configuration."""
+
+    def __init__(
+        self,
+        layer: ConvLayer,
+        config: SimulatorConfig,
+        objective: str = "psums",
+        max_options_per_tile: int = 10,
+        space: Optional[ConfigSpace] = None,
+    ) -> None:
+        super().__init__(
+            space or conv_mapping_space(layer, config.ms_size, max_options_per_tile),
+            objective,
+        )
+        self.layer = layer
+        self.controller = MaeriController(config)
+
+    def evaluate(self, config: Config) -> float:
+        mapping = config_to_conv_mapping(config)
+        if self.objective == "psums":
+            return float(self.controller.estimate_conv_psums(self.layer, mapping))
+        stats = self.controller.run_conv(self.layer, mapping)
+        if self.objective == "energy":
+            from repro.stonne.energy import estimate_energy
+
+            return estimate_energy(stats).total
+        return float(stats.cycles)
+
+    def best_mapping(self, config: Config):
+        return config_to_conv_mapping(config)
+
+
+class MaeriFcTask(TuningTask):
+    """Tune the FC mapping of ``layer`` on a MAERI configuration."""
+
+    def __init__(
+        self,
+        layer: FcLayer,
+        config: SimulatorConfig,
+        objective: str = "psums",
+        space: Optional[ConfigSpace] = None,
+    ) -> None:
+        super().__init__(space or fc_mapping_space(layer, config.ms_size), objective)
+        self.layer = layer
+        self.controller = MaeriController(config)
+
+    def evaluate(self, config: Config) -> float:
+        mapping = config_to_fc_mapping(config)
+        if self.objective == "psums":
+            return float(self.controller.estimate_fc_psums(self.layer, mapping))
+        stats = self.controller.run_fc(self.layer, mapping)
+        if self.objective == "energy":
+            from repro.stonne.energy import estimate_energy
+
+            return estimate_energy(stats).total
+        return float(stats.cycles)
+
+    def best_mapping(self, config: Config):
+        return config_to_fc_mapping(config)
+
+
+class CallableTask(TuningTask):
+    """Wrap an arbitrary cost function as a task (used by hardware search
+    and the test suite)."""
+
+    def __init__(self, space: ConfigSpace, fn, objective: str = "cycles") -> None:
+        super().__init__(space, objective)
+        self._fn = fn
+
+    def evaluate(self, config: Config) -> float:
+        return float(self._fn(config))

@@ -1,0 +1,107 @@
+"""Tuning records: the history of measured configs and the best result.
+
+AutoTVM logs measurements to a file so the best config can be applied
+later; :class:`TuningRecords` is the in-memory equivalent with optional
+JSONL persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import TuningError
+from repro.tuner.measure import INVALID_COST
+from repro.tuner.space import Config
+
+
+@dataclass
+class Trial:
+    """One measured trial."""
+
+    trial: int
+    index: int
+    config: Config
+    cost: float
+
+    @property
+    def valid(self) -> bool:
+        return self.cost != INVALID_COST
+
+
+@dataclass
+class TuningRecords:
+    """Measurement history with best-so-far tracking."""
+
+    objective: str = "cycles"
+    trials: List[Trial] = field(default_factory=list)
+
+    def add(self, index: int, config: Config, cost: float) -> Trial:
+        trial = Trial(
+            trial=len(self.trials), index=index, config=dict(config), cost=cost
+        )
+        self.trials.append(trial)
+        return trial
+
+    @property
+    def best(self) -> Optional[Trial]:
+        valid = [t for t in self.trials if t.valid]
+        if not valid:
+            return None
+        return min(valid, key=lambda t: (t.cost, t.trial))
+
+    @property
+    def num_valid(self) -> int:
+        return sum(1 for t in self.trials if t.valid)
+
+    def best_cost_curve(self) -> List[float]:
+        """Best-so-far cost after each trial (inf until one is valid)."""
+        curve: List[float] = []
+        best = INVALID_COST
+        for t in self.trials:
+            best = min(best, t.cost)
+            curve.append(best)
+        return curve
+
+    # ------------------------------------------------------------------
+    def save_jsonl(self, path: Path) -> None:
+        """Persist the history as one JSON object per line."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for t in self.trials:
+                handle.write(
+                    json.dumps(
+                        {
+                            "trial": t.trial,
+                            "index": t.index,
+                            "config": t.config,
+                            "cost": None if not t.valid else t.cost,
+                            "objective": self.objective,
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load_jsonl(cls, path: Path) -> "TuningRecords":
+        path = Path(path)
+        records = cls()
+        for line_no, line in enumerate(path.read_text().splitlines()):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TuningError(
+                    f"{path}:{line_no + 1}: invalid record: {exc}"
+                ) from exc
+            records.objective = entry.get("objective", records.objective)
+            cost = entry.get("cost")
+            records.add(
+                index=entry["index"],
+                config=entry["config"],
+                cost=INVALID_COST if cost is None else float(cost),
+            )
+        return records

@@ -1,0 +1,16 @@
+"""Tuner implementations: grid, random, genetic, GBT-surrogate."""
+
+from repro.tuner.tuners.base import Tuner, TuningResult
+from repro.tuner.tuners.ga import GATuner
+from repro.tuner.tuners.grid import GridSearchTuner
+from repro.tuner.tuners.random_tuner import RandomTuner
+from repro.tuner.tuners.xgb import XGBTuner
+
+__all__ = [
+    "GATuner",
+    "GridSearchTuner",
+    "RandomTuner",
+    "Tuner",
+    "TuningResult",
+    "XGBTuner",
+]

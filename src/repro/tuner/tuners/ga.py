@@ -1,0 +1,111 @@
+"""Genetic-algorithm tuner (AutoTVM's GATuner analog).
+
+Configs are chromosomes: one gene per knob, each gene the index into that
+knob's value list.  Standard generational loop — tournament selection,
+uniform crossover, per-gene mutation — with elitism.  Invalid offspring
+(constraint violations) are still proposed; the measure step prices them
+at infinity, and selection weeds them out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.tuner.measure import INVALID_COST, TuningTask
+from repro.tuner.tuners.base import Tuner
+
+
+class GATuner(Tuner):
+    """Generational genetic algorithm over the knob space."""
+
+    def __init__(
+        self,
+        task: TuningTask,
+        seed: int = 0,
+        population_size: int = 32,
+        mutation_rate: float = 0.15,
+        elite: int = 4,
+    ) -> None:
+        super().__init__(task, seed)
+        self._rng = np.random.default_rng(seed)
+        self.population_size = population_size
+        self.mutation_rate = mutation_rate
+        self.elite = min(elite, population_size)
+        self._radices = [len(v) for v in task.space.knobs.values()]
+        self._population: List[List[int]] = []
+        self._fitness: Dict[int, float] = {}  # config index -> cost
+
+    # ------------------------------------------------------------------
+    def _genes_to_index(self, genes: List[int]) -> int:
+        index = 0
+        multiplier = 1
+        for gene, radix in zip(genes, self._radices):
+            index += gene * multiplier
+            multiplier *= radix
+        return index
+
+    def _random_genes(self) -> List[int]:
+        return [int(self._rng.integers(0, radix)) for radix in self._radices]
+
+    def _tournament(self) -> List[int]:
+        """Pick the fitter of two random population members."""
+        a, b = self._rng.integers(0, len(self._population), size=2)
+        ca = self._fitness.get(self._genes_to_index(self._population[a]), INVALID_COST)
+        cb = self._fitness.get(self._genes_to_index(self._population[b]), INVALID_COST)
+        return list(self._population[a] if ca <= cb else self._population[b])
+
+    def _crossover(self, a: List[int], b: List[int]) -> List[int]:
+        return [
+            ai if self._rng.random() < 0.5 else bi for ai, bi in zip(a, b)
+        ]
+
+    def _mutate(self, genes: List[int]) -> List[int]:
+        return [
+            int(self._rng.integers(0, radix))
+            if self._rng.random() < self.mutation_rate
+            else gene
+            for gene, radix in zip(genes, self._radices)
+        ]
+
+    # ------------------------------------------------------------------
+    def propose(self, count: int) -> List[int]:
+        if not self._population:
+            self._population = [
+                self._random_genes() for _ in range(self.population_size)
+            ]
+        else:
+            scored = sorted(
+                self._population,
+                key=lambda genes: self._fitness.get(
+                    self._genes_to_index(genes), INVALID_COST
+                ),
+            )
+            next_gen = [list(g) for g in scored[: self.elite]]
+            while len(next_gen) < self.population_size:
+                child = self._mutate(
+                    self._crossover(self._tournament(), self._tournament())
+                )
+                next_gen.append(child)
+            self._population = next_gen
+
+        batch: List[int] = []
+        for genes in self._population:
+            index = self._genes_to_index(genes)
+            if index not in self._seen and index not in batch:
+                batch.append(index)
+            if len(batch) >= count:
+                break
+        # Top up with random immigrants when the population is stale.
+        attempts = 0
+        while len(batch) < count and attempts < 20 * count:
+            attempts += 1
+            index = self._genes_to_index(self._random_genes())
+            if index not in self._seen and index not in batch:
+                batch.append(index)
+        return batch
+
+    def update(self, indices, costs) -> None:
+        for index, cost in zip(indices, costs):
+            self._fitness[index] = cost

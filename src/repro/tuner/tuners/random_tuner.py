@@ -1,0 +1,40 @@
+"""Uniform random-search tuner (the sanity baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.tuner.measure import TuningTask
+from repro.tuner.tuners.base import Tuner
+
+
+class RandomTuner(Tuner):
+    """Sample unseen config indices uniformly at random."""
+
+    def __init__(self, task: TuningTask, seed: int = 0) -> None:
+        super().__init__(task, seed)
+        self._rng = np.random.default_rng(seed)
+
+    def propose(self, count: int) -> List[int]:
+        size = self.task.space.raw_size
+        if len(self._seen) >= size:
+            return []
+        batch: List[int] = []
+        attempts = 0
+        max_attempts = 50 * count
+        while len(batch) < count and attempts < max_attempts:
+            attempts += 1
+            index = int(self._rng.integers(0, size))
+            if index in self._seen or index in batch:
+                continue
+            batch.append(index)
+        if not batch:
+            # Dense fallback: scan for any unseen index.
+            for index in range(size):
+                if index not in self._seen:
+                    batch.append(index)
+                    if len(batch) >= count:
+                        break
+        return batch

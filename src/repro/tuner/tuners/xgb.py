@@ -1,0 +1,100 @@
+"""Surrogate-model tuner using gradient-boosted trees (XGBTuner analog).
+
+The loop alternates exploration and exploitation:
+
+1. while fewer than ``warmup`` measurements exist, propose random configs;
+2. afterwards, fit :class:`~repro.tuner.gbt.GradientBoostedTrees` on the
+   measured (features, log-cost) pairs, score a random candidate pool,
+   and propose the configs with the lowest predicted cost, salted with an
+   ``epsilon`` fraction of random picks to keep exploring.
+
+Features are the per-knob value positions plus the raw numeric values
+when knob values are numeric — enough signal for tile-size spaces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.tuner.gbt import GradientBoostedTrees
+from repro.tuner.measure import INVALID_COST, TuningTask
+from repro.tuner.tuners.base import Tuner
+
+
+class XGBTuner(Tuner):
+    """Cost-model-guided tuner on our NumPy GBT implementation."""
+
+    def __init__(
+        self,
+        task: TuningTask,
+        seed: int = 0,
+        warmup: int = 24,
+        pool_size: int = 512,
+        epsilon: float = 0.15,
+        model_kwargs: Dict = None,
+    ) -> None:
+        super().__init__(task, seed)
+        self._rng = np.random.default_rng(seed)
+        self.warmup = warmup
+        self.pool_size = pool_size
+        self.epsilon = epsilon
+        self._model = GradientBoostedTrees(**(model_kwargs or {}))
+        self._train_x: List[List[float]] = []
+        self._train_y: List[float] = []
+
+    # ------------------------------------------------------------------
+    def _featurize(self, index: int) -> List[float]:
+        config = self.task.space.config_at(index)
+        features: List[float] = []
+        for name, values in self.task.space.knobs.items():
+            value = config[name]
+            features.append(float(values.index(value)))
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                features.append(float(value))
+                features.append(math.log2(float(value)) if value > 0 else 0.0)
+        return features
+
+    def _random_unseen(self, count: int) -> List[int]:
+        size = self.task.space.raw_size
+        batch: List[int] = []
+        attempts = 0
+        while len(batch) < count and attempts < 50 * max(count, 1):
+            attempts += 1
+            index = int(self._rng.integers(0, size))
+            if index not in self._seen and index not in batch:
+                batch.append(index)
+        return batch
+
+    # ------------------------------------------------------------------
+    def propose(self, count: int) -> List[int]:
+        if len(self._train_y) < self.warmup or not self._train_y:
+            return self._random_unseen(count)
+
+        x = np.asarray(self._train_x)
+        y = np.asarray(self._train_y)
+        self._model.fit(x, y)
+
+        pool = self._random_unseen(self.pool_size)
+        if not pool:
+            return []
+        features = np.asarray([self._featurize(i) for i in pool])
+        predicted = self._model.predict(features)
+        order = np.argsort(predicted, kind="stable")
+
+        n_random = int(round(count * self.epsilon))
+        n_model = max(1, count - n_random)
+        batch = [pool[i] for i in order[:n_model]]
+        for index in self._random_unseen(n_random):
+            if index not in batch:
+                batch.append(index)
+        return batch[:count]
+
+    def update(self, indices, costs) -> None:
+        for index, cost in zip(indices, costs):
+            if cost == INVALID_COST:
+                continue  # the model learns only from valid configs
+            self._train_x.append(self._featurize(index))
+            self._train_y.append(math.log1p(cost))

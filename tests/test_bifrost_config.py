@@ -1,0 +1,119 @@
+"""Tests for the simulator configurator and architecture object (§VI)."""
+
+import pytest
+
+from repro.bifrost import Architecture, SimulatorConfigurator, architecture
+from repro.errors import ConfigError
+from repro.stonne.config import ControllerType, ReduceNetworkType
+
+
+class TestSimulatorConfigurator:
+    def test_maeri_defaults(self):
+        config = SimulatorConfigurator().build()
+        assert config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD
+        assert config.reduce_network_type is ReduceNetworkType.ASNETWORK
+
+    def test_rounds_ms_size_up(self):
+        configurator = SimulatorConfigurator(ms_size=100)
+        config = configurator.build()
+        assert config.ms_size == 128
+        assert any("rounded up" in c for c in configurator.corrections)
+
+    def test_rounds_bandwidths_up(self):
+        configurator = SimulatorConfigurator(dn_bw=33, rn_bw=9)
+        config = configurator.build()
+        assert (config.dn_bw, config.rn_bw) == (64, 16)
+        assert len(configurator.corrections) == 2
+
+    def test_rejects_tiny_array(self):
+        with pytest.raises(ConfigError, match=">= 8"):
+            SimulatorConfigurator(ms_size=4).build()
+
+    def test_corrects_tpu_bandwidths(self):
+        """§VI: 'Bifrost enforces the TPU restriction and will correct
+        improperly configured distribution and reduction networks.'"""
+        configurator = SimulatorConfigurator(
+            controller_type=ControllerType.TPU_OS_DENSE,
+            ms_rows=8, ms_cols=8,
+            dn_bw=64, rn_bw=64,
+        )
+        config = configurator.build()
+        assert config.dn_bw == 16
+        assert config.rn_bw == 64
+        assert any("dn_bw corrected" in c for c in configurator.corrections)
+
+    def test_corrects_tpu_reduce_network(self):
+        configurator = SimulatorConfigurator(
+            controller_type=ControllerType.TPU_OS_DENSE,
+            reduce_network_type=ReduceNetworkType.ASNETWORK,
+            ms_rows=8, ms_cols=8,
+        )
+        config = configurator.build()
+        assert config.reduce_network_type is ReduceNetworkType.TEMPORALRN
+
+    def test_maeri_rejects_sparsity(self):
+        with pytest.raises(ConfigError, match="SIGMA"):
+            SimulatorConfigurator(sparsity_ratio=50).build()
+
+    def test_sigma_gets_fenetwork_default(self):
+        config = SimulatorConfigurator(
+            controller_type=ControllerType.SIGMA_SPARSE_GEMM,
+            sparsity_ratio=30,
+        ).build()
+        assert config.reduce_network_type is ReduceNetworkType.FENETWORK
+        assert config.sparsity_ratio == 30
+
+    def test_linear_rejects_temporal(self):
+        with pytest.raises(ConfigError, match="TEMPORALRN"):
+            SimulatorConfigurator(
+                reduce_network_type=ReduceNetworkType.TEMPORALRN
+            ).build()
+
+
+class TestArchitectureObject:
+    def test_listing1_flow(self):
+        arch = Architecture()
+        arch.maeri()
+        arch.ms_size = 128
+        config = arch.create_config_file()
+        assert config.ms_size == 128
+        assert arch.config is config  # cached
+
+    def test_presets_switch_controller(self):
+        arch = Architecture()
+        assert arch.sigma(50).create_config_file().sparsity_ratio == 50
+        assert (
+            arch.tpu(8, 8).create_config_file().controller_type
+            is ControllerType.TPU_OS_DENSE
+        )
+
+    def test_corrections_surface(self):
+        arch = Architecture()
+        arch.ms_size = 100
+        arch.create_config_file()
+        assert any("rounded" in c for c in arch.corrections)
+
+    def test_reset(self):
+        arch = Architecture()
+        arch.ms_size = 64
+        arch.reset()
+        assert arch.ms_size == 128
+
+    def test_save_writes_json(self, tmp_path):
+        arch = Architecture()
+        path = tmp_path / "config.json"
+        arch.save(path)
+        assert '"ms_size": 128' in path.read_text()
+
+    def test_module_singleton_exists(self):
+        architecture.reset()
+        assert architecture.config.ms_size == 128
+
+
+class TestMagmaConfigurator:
+    def test_magma_preset_and_build(self):
+        arch = Architecture()
+        config = arch.magma(60).create_config_file()
+        assert config.controller_type is ControllerType.MAGMA_SPARSE_DENSE
+        assert config.sparsity_ratio == 60
+        assert config.reduce_network_type is ReduceNetworkType.FENETWORK

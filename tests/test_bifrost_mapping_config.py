@@ -1,0 +1,102 @@
+"""Tests for the mapping configurator: the four mapping sources of §IV."""
+
+import pytest
+
+from repro.bifrost import MappingConfigurator, MappingStrategy
+from repro.errors import TuningError
+from repro.stonne.config import maeri_config, sigma_config
+from repro.stonne.layer import ConvLayer, FcLayer
+from repro.stonne.maeri import MaeriController
+from repro.stonne.mapping import ConvMapping, FcMapping
+
+
+@pytest.fixture
+def conv():
+    return ConvLayer("c", C=8, H=10, W=10, K=16, R=3, S=3)
+
+
+@pytest.fixture
+def fc():
+    return FcLayer("f", in_features=256, out_features=128)
+
+
+class TestDefaultStrategy:
+    def test_returns_basic_mappings(self, maeri128, conv, fc):
+        configurator = MappingConfigurator(config=maeri128)
+        assert configurator.mapping_for(conv) == ConvMapping.basic()
+        assert configurator.mapping_for(fc) == FcMapping.basic()
+
+    def test_strategy_coerced_from_string(self, maeri128):
+        configurator = MappingConfigurator(config=maeri128, strategy="mrna")
+        assert configurator.strategy is MappingStrategy.MRNA
+
+    def test_non_maeri_rejects_generation(self, conv):
+        configurator = MappingConfigurator(config=sigma_config())
+        with pytest.raises(TuningError, match="MAERI"):
+            configurator.mapping_for(conv)
+
+
+class TestManualOverrides:
+    def test_manual_wins_over_strategy(self, maeri128, fc):
+        configurator = MappingConfigurator(
+            config=maeri128, strategy=MappingStrategy.MRNA
+        )
+        pinned = FcMapping(T_S=2, T_K=2)
+        configurator.set_manual("f", pinned)
+        assert configurator.mapping_for(fc) is pinned
+
+    def test_manual_applies_even_on_sigma(self, fc):
+        """Manual mappings bypass generation, so they resolve anywhere."""
+        configurator = MappingConfigurator(config=sigma_config())
+        configurator.set_manual("f", FcMapping(T_S=4))
+        assert configurator.mapping_for(fc).T_S == 4
+
+
+class TestTunedStrategy:
+    def test_tuned_fc_mapping_structure(self, maeri128, fc):
+        configurator = MappingConfigurator(
+            config=maeri128,
+            strategy=MappingStrategy.TUNED,
+            objective="psums",
+            tuner_trials=120,
+            tuner_early_stopping=60,
+        )
+        mapping = configurator.mapping_for(fc)
+        mapping.validate_for(fc, maeri128.ms_size)
+        assert mapping.T_K == 1  # the psum-optimum structure (Table VI)
+
+    def test_tuned_result_cached(self, maeri128, fc):
+        configurator = MappingConfigurator(
+            config=maeri128,
+            strategy=MappingStrategy.TUNED,
+            tuner_trials=60,
+            tuner_early_stopping=30,
+        )
+        first = configurator.mapping_for(fc)
+        second = configurator.mapping_for(fc)
+        assert first is second  # no re-tuning
+
+    def test_tuned_cycles_objective_beats_default(self, maeri128, fc):
+        configurator = MappingConfigurator(
+            config=maeri128,
+            strategy=MappingStrategy.TUNED,
+            objective="cycles",
+            tuner_trials=200,
+            tuner_early_stopping=100,
+        )
+        tuned = configurator.mapping_for(fc)
+        controller = MaeriController(maeri128)
+        assert (
+            controller.run_fc(fc, tuned).cycles
+            < controller.run_fc(fc, FcMapping.basic()).cycles
+        )
+
+
+class TestMrnaStrategy:
+    def test_mrna_mappings_cached_and_valid(self, maeri128, conv):
+        configurator = MappingConfigurator(
+            config=maeri128, strategy=MappingStrategy.MRNA
+        )
+        mapping = configurator.mapping_for(conv)
+        mapping.validate_for(conv, maeri128.ms_size)
+        assert configurator.mapping_for(conv) is mapping

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFeatures:
+    def test_prints_matrix(self, capsys):
+        assert main(["features"]) == 0
+        out = capsys.readouterr().out
+        assert "Bifrost" in out and "STONNE" in out
+
+
+class TestRun:
+    def test_lenet_on_maeri_with_mrna(self, capsys):
+        assert main(["run", "lenet", "--arch", "maeri", "--mapping", "mrna"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "fc3" in out and "total" in out
+
+    def test_lenet_on_sigma_with_sparsity(self, capsys):
+        assert main(["run", "lenet", "--arch", "sigma", "--sparsity", "50"]) == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_lenet_on_tpu(self, capsys):
+        assert main(["run", "lenet", "--arch", "tpu", "--ms-rows", "8",
+                     "--ms-cols", "8"]) == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_energy_flag(self, capsys):
+        assert main(["run", "mlp", "--energy"]) == 0
+        assert "total energy" in capsys.readouterr().out
+
+    def test_hardware_correction_note(self, capsys):
+        assert main(["run", "mlp", "--ms-size", "100"]) == 0
+        assert "rounded up" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "resnet"])
+
+
+class TestTune:
+    def test_tune_fc_layer_grid(self, capsys):
+        code = main([
+            "tune", "lenet", "fc2", "--tuner", "grid",
+            "--objective", "cycles", "--trials", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best mapping" in out and "best cycles" in out
+
+    def test_tune_writes_log(self, tmp_path, capsys):
+        log = tmp_path / "tuning.jsonl"
+        code = main([
+            "tune", "lenet", "fc3", "--tuner", "random",
+            "--trials", "40", "--log", str(log),
+        ])
+        assert code == 0
+        assert log.exists() and log.read_text().strip()
+
+    def test_unknown_layer_is_error(self, capsys):
+        assert main(["tune", "lenet", "conv9"]) == 2
+        assert "no layer" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_mlp(self, capsys):
+        assert main(["compare", "mlp"]) == 0
+        out = capsys.readouterr().out
+        assert "default" in out and "mRNA" in out and "fc1" in out
+
+
+class TestMagmaSupport:
+    def test_run_on_magma(self, capsys):
+        assert main(["run", "lenet", "--arch", "magma", "--sparsity", "75"]) == 0
+        assert "total" in capsys.readouterr().out

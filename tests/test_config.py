@@ -1,0 +1,147 @@
+"""Unit tests for hardware configuration validation (paper Table III)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stonne.config import (
+    ControllerType,
+    MsNetworkType,
+    ReduceNetworkType,
+    SimulatorConfig,
+    maeri_config,
+    sigma_config,
+    tpu_config,
+)
+
+
+class TestMaeriConfig:
+    def test_defaults_valid(self):
+        config = maeri_config()
+        assert config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD
+        assert config.ms_network_type is MsNetworkType.LINEAR
+        assert config.num_multipliers == config.ms_size
+
+    @pytest.mark.parametrize("ms", [7, 12, 100, 129])
+    def test_rejects_non_power_of_two_ms_size(self, ms):
+        with pytest.raises(ConfigError, match="power of two"):
+            maeri_config(ms_size=ms)
+
+    def test_rejects_ms_size_below_eight(self):
+        with pytest.raises(ConfigError):
+            maeri_config(ms_size=4)
+
+    def test_rejects_os_mesh(self):
+        with pytest.raises(ConfigError, match="LINEAR"):
+            SimulatorConfig(
+                controller_type=ControllerType.MAERI_DENSE_WORKLOAD,
+                ms_network_type=MsNetworkType.OS_MESH,
+            )
+
+    @pytest.mark.parametrize("bw", [3, 12, 100])
+    def test_rejects_non_power_of_two_bandwidths(self, bw):
+        with pytest.raises(ConfigError):
+            maeri_config(dn_bw=bw)
+        with pytest.raises(ConfigError):
+            maeri_config(rn_bw=bw)
+
+    def test_rejects_temporal_rn(self):
+        with pytest.raises(ConfigError, match="TEMPORALRN"):
+            maeri_config(reduce_network_type=ReduceNetworkType.TEMPORALRN)
+
+    def test_rejects_sparsity(self):
+        with pytest.raises(ConfigError, match="SIGMA"):
+            SimulatorConfig(
+                controller_type=ControllerType.MAERI_DENSE_WORKLOAD,
+                sparsity_ratio=50,
+            )
+
+    def test_fenetwork_allowed(self):
+        config = maeri_config(reduce_network_type=ReduceNetworkType.FENETWORK)
+        assert config.reduce_network_type is ReduceNetworkType.FENETWORK
+
+
+class TestSigmaConfig:
+    def test_defaults(self):
+        config = sigma_config(sparsity_ratio=50)
+        assert config.controller_type is ControllerType.SIGMA_SPARSE_GEMM
+        assert config.sparsity_ratio == 50
+        assert config.reduce_network_type is ReduceNetworkType.FENETWORK
+
+    @pytest.mark.parametrize("ratio", [-1, 101, 1000])
+    def test_rejects_out_of_range_sparsity(self, ratio):
+        with pytest.raises(ConfigError, match="sparsity"):
+            sigma_config(sparsity_ratio=ratio)
+
+    def test_rejects_non_integer_sparsity(self):
+        with pytest.raises(ConfigError):
+            sigma_config(sparsity_ratio=0.5)
+
+
+class TestTpuConfig:
+    def test_derived_bandwidths(self):
+        config = tpu_config(ms_rows=8, ms_cols=16)
+        assert config.dn_bw == 24
+        assert config.rn_bw == 128
+        assert config.num_multipliers == 128
+
+    def test_rejects_wrong_bandwidths(self):
+        with pytest.raises(ConfigError, match="dn_bw = ms_rows"):
+            SimulatorConfig(
+                controller_type=ControllerType.TPU_OS_DENSE,
+                ms_network_type=MsNetworkType.OS_MESH,
+                ms_rows=16, ms_cols=16,
+                dn_bw=64, rn_bw=256,
+                reduce_network_type=ReduceNetworkType.TEMPORALRN,
+            )
+
+    def test_rejects_linear_network(self):
+        with pytest.raises(ConfigError, match="OS_MESH"):
+            SimulatorConfig(
+                controller_type=ControllerType.TPU_OS_DENSE,
+                ms_network_type=MsNetworkType.LINEAR,
+                reduce_network_type=ReduceNetworkType.TEMPORALRN,
+            )
+
+    def test_rejects_art_reduction(self):
+        with pytest.raises(ConfigError, match="TEMPORALRN"):
+            SimulatorConfig(
+                controller_type=ControllerType.TPU_OS_DENSE,
+                ms_network_type=MsNetworkType.OS_MESH,
+                ms_rows=16, ms_cols=16, dn_bw=32, rn_bw=256,
+                reduce_network_type=ReduceNetworkType.ASNETWORK,
+            )
+
+    def test_rejects_disabled_accumulation_buffer(self):
+        with pytest.raises(ConfigError, match="accumulation_buffer"):
+            SimulatorConfig(
+                controller_type=ControllerType.TPU_OS_DENSE,
+                ms_network_type=MsNetworkType.OS_MESH,
+                ms_rows=16, ms_cols=16, dn_bw=32, rn_bw=256,
+                reduce_network_type=ReduceNetworkType.TEMPORALRN,
+                accumulation_buffer=False,
+            )
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        config = maeri_config(ms_size=64, dn_bw=32, rn_bw=8)
+        restored = SimulatorConfig.from_json(config.to_json())
+        assert restored == config
+
+    def test_dict_roundtrip_tpu(self):
+        config = tpu_config(ms_rows=8, ms_cols=8)
+        assert SimulatorConfig.from_dict(config.to_dict()) == config
+
+    def test_with_updates_validates(self):
+        config = maeri_config()
+        with pytest.raises(ConfigError):
+            config.with_updates(ms_size=100)
+        assert config.with_updates(ms_size=64).ms_size == 64
+
+    def test_enum_coercion_from_strings(self):
+        config = SimulatorConfig(
+            controller_type="MAERI_DENSE_WORKLOAD",
+            ms_network_type="LINEAR",
+            reduce_network_type="ASNETWORK",
+        )
+        assert config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD

@@ -1,0 +1,144 @@
+"""Property-based invariants of the cycle-level models.
+
+These hold for *every* valid (layer, config, mapping) combination, so
+hypothesis drives the generator.  Violations would mean the simulator
+reports physically impossible numbers.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import MappingError
+from repro.stonne.config import maeri_config, sigma_config, tpu_config
+from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer
+from repro.stonne.maeri import MaeriController
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.sigma import SigmaController
+from repro.stonne.tpu import TpuController
+
+conv_layers = st.builds(
+    ConvLayer,
+    name=st.just("p"),
+    C=st.integers(1, 16),
+    H=st.integers(4, 24),
+    W=st.integers(4, 24),
+    K=st.integers(1, 32),
+    R=st.integers(1, 4),
+    S=st.integers(1, 4),
+    stride_h=st.integers(1, 2),
+    stride_w=st.integers(1, 2),
+    pad_h=st.integers(0, 2),
+    pad_w=st.integers(0, 2),
+)
+
+fc_layers = st.builds(
+    FcLayer,
+    name=st.just("p"),
+    in_features=st.integers(1, 2048),
+    out_features=st.integers(1, 1024),
+)
+
+conv_mappings = st.builds(
+    ConvMapping,
+    T_R=st.integers(1, 4),
+    T_S=st.integers(1, 4),
+    T_C=st.integers(1, 8),
+    T_K=st.integers(1, 8),
+    T_X=st.integers(1, 6),
+    T_Y=st.integers(1, 6),
+)
+
+#: Power-of-two FC tiles whose product always fits a 128-wide array, so
+#: the strategies rarely hit assume() filters.
+fc_mappings = st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(
+    lambda ab: ab[0] + ab[1] <= 7
+).map(lambda ab: FcMapping(T_S=2 ** ab[0], T_K=2 ** ab[1]))
+
+ms_sizes = st.sampled_from([8, 32, 128])
+
+
+class TestMaeriInvariants:
+    @given(layer=conv_layers, mapping=conv_mappings, ms=ms_sizes)
+    @settings(max_examples=120, deadline=None)
+    def test_conv_physical_bounds(self, layer, mapping, ms):
+        controller = MaeriController(maeri_config(ms_size=ms))
+        try:
+            mapping.validate_for(layer, ms)
+        except MappingError:
+            assume(False)
+        stats = controller.run_conv(layer, mapping)
+        # cycles bounded below by both iteration count and peak throughput
+        assert stats.cycles >= stats.iterations
+        assert stats.cycles * ms >= layer.macs
+        assert 0.0 < stats.utilization <= 1.0
+        assert stats.psums >= layer.output_elements
+        assert stats.multipliers_used <= ms
+
+    @given(layer=fc_layers, mapping=fc_mappings, ms=ms_sizes)
+    @settings(max_examples=120, deadline=None)
+    def test_fc_physical_bounds(self, layer, mapping, ms):
+        controller = MaeriController(maeri_config(ms_size=ms))
+        try:
+            mapping.validate_for(layer, ms)
+        except MappingError:
+            assume(False)
+        stats = controller.run_fc(layer, mapping)
+        assert stats.cycles >= stats.iterations
+        assert stats.cycles * ms >= layer.macs
+        assert 0.0 < stats.utilization <= 1.0
+
+    @given(layer=fc_layers, mapping=fc_mappings)
+    @settings(max_examples=60, deadline=None)
+    def test_fc_determinism(self, layer, mapping):
+        controller = MaeriController(maeri_config())
+        try:
+            mapping.validate_for(layer, 128)
+        except MappingError:
+            assume(False)
+        assert (
+            controller.run_fc(layer, mapping).cycles
+            == controller.run_fc(layer, mapping).cycles
+        )
+
+
+class TestSigmaInvariants:
+    @given(
+        m=st.integers(1, 256),
+        k=st.integers(1, 2048),
+        n=st.integers(1, 64),
+        sparsity=st.integers(0, 99),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_gemm_bounds(self, m, k, n, sparsity):
+        controller = SigmaController(sigma_config(sparsity_ratio=sparsity))
+        gemm = GemmLayer("p", M=m, K=k, N=n)
+        stats = controller.run_gemm(gemm)
+        assert stats.cycles > 0
+        assert stats.macs <= gemm.macs
+        assert stats.psums == gemm.output_elements * controller.position_folds(k)
+
+    @given(m=st.integers(1, 128), k=st.integers(1, 1024), n=st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_sparsity_never_slower(self, m, k, n):
+        gemm = GemmLayer("p", M=m, K=k, N=n)
+        dense = SigmaController(sigma_config(sparsity_ratio=0)).run_gemm(gemm)
+        sparse = SigmaController(sigma_config(sparsity_ratio=50)).run_gemm(gemm)
+        assert sparse.cycles <= dense.cycles
+
+
+class TestTpuInvariants:
+    @given(
+        m=st.integers(1, 256),
+        k=st.integers(1, 512),
+        n=st.integers(1, 128),
+        rows=st.sampled_from([4, 8, 16]),
+        cols=st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_gemm_bounds(self, m, k, n, rows, cols):
+        controller = TpuController(tpu_config(ms_rows=rows, ms_cols=cols))
+        gemm = GemmLayer("p", M=m, K=k, N=n)
+        stats = controller.run_gemm(gemm)
+        # at least K cycles per output tile, and fill/drain overhead
+        assert stats.cycles > stats.iterations * k
+        assert stats.macs == gemm.macs

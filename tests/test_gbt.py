@@ -1,0 +1,89 @@
+"""Tests for the gradient-boosted-trees surrogate model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.tuner.gbt import GradientBoostedTrees, RegressionTree
+
+
+@pytest.fixture
+def step_data(rng):
+    """A noiseless step function a single split can capture."""
+    x = rng.uniform(-1, 1, size=(200, 1))
+    y = np.where(x[:, 0] > 0.2, 3.0, -1.0)
+    return x, y
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self, step_data):
+        x, y = step_data
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.abs(pred - y).max() < 1e-9
+
+    def test_depth_one_is_stump(self, rng):
+        x = rng.uniform(0, 1, size=(100, 2))
+        y = x[:, 0] + 10 * (x[:, 1] > 0.5)
+        stump = RegressionTree(max_depth=1).fit(x, y)
+        assert len(np.unique(stump.predict(x))) <= 2
+
+    def test_constant_target_predicts_constant(self, rng):
+        x = rng.uniform(0, 1, size=(50, 3))
+        tree = RegressionTree().fit(x, np.full(50, 7.0))
+        np.testing.assert_allclose(tree.predict(x), 7.0)
+
+    def test_min_samples_leaf_respected(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 1.0, 100.0])
+        tree = RegressionTree(max_depth=3, min_samples_leaf=2).fit(x, y)
+        # only one split possible: leaves of size >= 2 cannot isolate 100
+        assert len(np.unique(tree.predict(x))) <= 1
+
+    def test_errors(self):
+        with pytest.raises(TuningError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(TuningError):
+            RegressionTree().fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(TuningError):
+            RegressionTree().predict(np.ones((1, 2)))
+
+
+class TestGradientBoostedTrees:
+    def test_fits_nonlinear_surface(self, rng):
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = x[:, 0] ** 2 + np.sin(3 * x[:, 1])
+        model = GradientBoostedTrees(n_estimators=60, learning_rate=0.3).fit(x, y)
+        residual = np.abs(model.predict(x) - y)
+        assert residual.mean() < 0.1
+
+    def test_boosting_improves_over_single_tree(self, rng):
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = x[:, 0] * x[:, 1]
+        single = RegressionTree(max_depth=3).fit(x, y).predict(x)
+        boosted = GradientBoostedTrees(n_estimators=40).fit(x, y).predict(x)
+        assert np.abs(boosted - y).mean() < np.abs(single - y).mean()
+
+    def test_ranking_quality(self, rng):
+        """The tuner only needs ranking: top-predicted should be near-best."""
+        x = rng.uniform(0, 1, size=(400, 3))
+        y = 5 * x[:, 0] + 2 * x[:, 1] ** 2
+        model = GradientBoostedTrees(n_estimators=40).fit(x[:300], y[:300])
+        pred = model.predict(x[300:])
+        true = y[300:]
+        picked = np.argmin(pred)
+        assert true[picked] <= np.quantile(true, 0.2)
+
+    def test_is_fitted_flag(self, rng):
+        model = GradientBoostedTrees()
+        assert not model.is_fitted
+        model.fit(rng.uniform(size=(10, 2)), rng.uniform(size=10))
+        assert model.is_fitted
+
+    def test_parameter_validation(self):
+        with pytest.raises(TuningError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(TuningError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(TuningError):
+            GradientBoostedTrees().fit(np.ones((0, 2)), np.ones(0))

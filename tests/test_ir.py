@@ -1,0 +1,160 @@
+"""Tests for the graph IR: types, graphs, builder, shape inference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeInferenceError
+from repro.ir import Graph, GraphBuilder, TensorType, all_ops, get_op, is_op
+
+
+class TestTensorType:
+    def test_basic(self):
+        t = TensorType((1, 3, 8, 8))
+        assert t.rank == 4
+        assert t.num_elements == 192
+        assert "float64" in str(t)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ShapeInferenceError):
+            TensorType((1, 0, 3))
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ShapeInferenceError):
+            TensorType((1,), dtype="float16")
+
+    def test_shape_coerced_to_ints(self):
+        assert TensorType((np.int64(2), 3)).shape == (2, 3)
+
+
+class TestOpDeclarations:
+    def test_inventory(self):
+        assert is_op("conv2d") and is_op("dense") and is_op("softmax")
+        assert not is_op("nonexistent")
+        assert "conv2d" in all_ops()
+
+    def test_conv2d_shape_nchw(self):
+        out = get_op("conv2d").shape_fn(
+            [TensorType((1, 3, 10, 10)), TensorType((4, 3, 3, 3))],
+            {"strides": (1, 1), "padding": (1, 1)},
+        )
+        assert out.shape == (1, 4, 10, 10)
+
+    def test_conv2d_shape_nhwc(self):
+        out = get_op("conv2d").shape_fn(
+            [TensorType((1, 10, 10, 3)), TensorType((3, 3, 3, 4))],
+            {"data_layout": "NHWC"},
+        )
+        assert out.shape == (1, 8, 8, 4)
+
+    def test_dense_shape_mismatch(self):
+        with pytest.raises(ShapeInferenceError):
+            get_op("dense").shape_fn(
+                [TensorType((1, 8)), TensorType((4, 9))], {}
+            )
+
+    def test_reshape_conservation(self):
+        with pytest.raises(ShapeInferenceError, match="preserve"):
+            get_op("reshape").shape_fn(
+                [TensorType((1, 12))], {"newshape": (1, 11)}
+            )
+
+
+class TestGraph:
+    def test_add_and_type_nodes(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((1, 8)))
+        w = g.add_const("w", np.zeros((4, 8)))
+        d = g.add_op("dense", [x, w])
+        g.set_outputs([d])
+        g.finalize()
+        assert g.nodes[d].ttype.shape == (1, 4)
+
+    def test_rejects_unknown_op(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((1, 8)))
+        with pytest.raises(GraphError, match="unknown operator"):
+            g.add_op("frobnicate", [x])
+
+    def test_rejects_wrong_arity(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((1, 8)))
+        with pytest.raises(GraphError, match="expects 2 inputs"):
+            g.add_op("dense", [x])
+
+    def test_rejects_dangling_reference(self):
+        g = Graph("g")
+        g.add_input("x", TensorType((1, 8)))
+        with pytest.raises(GraphError, match="unknown node"):
+            g.add_op("relu", [99])
+
+    def test_rejects_no_outputs(self):
+        g = Graph("g")
+        g.add_input("x", TensorType((1, 8)))
+        with pytest.raises(GraphError, match="no outputs"):
+            g.finalize()
+
+    def test_finalized_graph_frozen(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((1, 8)))
+        g.set_outputs([x])
+        g.finalize()
+        with pytest.raises(GraphError, match="finalized"):
+            g.add_input("y", TensorType((1, 8)))
+
+    def test_consumers(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((1, 8)))
+        r1 = g.add_op("relu", [x])
+        r2 = g.add_op("relu", [x])
+        assert {n.node_id for n in g.consumers(x)} == {r1, r2}
+
+    def test_describe_lists_nodes(self):
+        g = Graph("demo")
+        x = g.add_input("x", TensorType((1, 8)))
+        g.set_outputs([g.add_op("relu", [x])])
+        text = g.describe()
+        assert "relu" in text and "demo" in text
+
+    def test_const_requires_rank(self):
+        g = Graph("g")
+        with pytest.raises(GraphError, match="rank"):
+            g.add_const("s", np.float64(3.0))
+
+
+class TestGraphBuilder:
+    def test_conv_stack_shapes(self):
+        g = (
+            GraphBuilder("m", (1, 3, 16, 16))
+            .conv2d(8, (3, 3), padding=(1, 1))
+            .relu()
+            .max_pool2d()
+            .flatten()
+            .dense(10)
+            .softmax()
+            .build()
+        )
+        out = g.nodes[g.output_ids[0]]
+        assert out.ttype.shape == (1, 10)
+
+    def test_dense_on_4d_rejected(self):
+        builder = GraphBuilder("m", (1, 3, 8, 8))
+        with pytest.raises(GraphError, match="2-D"):
+            builder.dense(10)
+
+    def test_conv_on_2d_rejected(self):
+        builder = GraphBuilder("m", (1, 16))
+        with pytest.raises(GraphError, match="4-D"):
+            builder.conv2d(4, (3, 3))
+
+    def test_parameters_are_deterministic(self):
+        g1 = GraphBuilder("m", (1, 4)).dense(3).build()
+        g2 = GraphBuilder("m", (1, 4)).dense(3).build()
+        for (id1, p1), (id2, p2) in zip(
+            sorted(g1.params.items()), sorted(g2.params.items())
+        ):
+            np.testing.assert_array_equal(p1, p2)
+
+    def test_groups_validation(self):
+        builder = GraphBuilder("m", (1, 3, 8, 8))
+        with pytest.raises(GraphError, match="groups"):
+            builder.conv2d(4, (3, 3), groups=2)

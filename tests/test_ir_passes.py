@@ -1,0 +1,119 @@
+"""Tests for graph-level optimization passes."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Graph, GraphBuilder, TensorType
+from repro.ir.passes import (
+    PassManager,
+    default_pipeline,
+    eliminate_dead_code,
+    fold_batch_norms,
+    fold_constants,
+    optimize,
+)
+from repro.runtime import compile_graph
+
+
+def _bn_conv_graph(with_bias: bool):
+    builder = GraphBuilder("bnconv", (1, 3, 8, 8))
+    builder.conv2d(4, (3, 3), padding=(1, 1), bias=with_bias, name="conv")
+    builder.batch_norm(name="bn")
+    builder.relu()
+    return builder.build()
+
+
+class TestFoldBatchNorms:
+    @pytest.mark.parametrize("with_bias", [True, False])
+    def test_fold_preserves_output(self, rng, with_bias):
+        data = rng.normal(size=(1, 3, 8, 8))
+        graph = _bn_conv_graph(with_bias)
+        before = compile_graph(graph, apply_passes=False)(data)
+
+        folded = fold_batch_norms(graph)
+        graph.infer_types()
+        assert folded == 1
+        assert not graph.op_nodes("batch_norm")
+        after = compile_graph(graph, apply_passes=False)(data)
+        np.testing.assert_allclose(after, before, rtol=1e-9)
+
+    def test_no_fold_through_relu(self):
+        builder = GraphBuilder("g", (1, 3, 8, 8))
+        builder.conv2d(4, (3, 3)).relu().batch_norm()
+        graph = builder.build()
+        assert fold_batch_norms(graph) == 0
+        assert graph.op_nodes("batch_norm")
+
+    def test_no_fold_grouped_conv(self):
+        builder = GraphBuilder("g", (1, 4, 8, 8))
+        builder.conv2d(4, (3, 3), groups=2).batch_norm()
+        graph = builder.build()
+        assert fold_batch_norms(graph) == 0
+
+
+class TestFoldConstants:
+    def test_folds_all_const_subgraph(self):
+        g = Graph("g")
+        a = g.add_const("a", np.ones((2, 3)))
+        b = g.add_const("b", np.full((2, 3), 2.0))
+        s = g.add_op("add", [a, b])
+        x = g.add_input("x", TensorType((2, 3)))
+        out = g.add_op("add", [x, s])
+        g.set_outputs([out])
+        g.finalize()
+
+        assert fold_constants(g) == 1
+        assert g.nodes[s].kind == "const"
+        np.testing.assert_array_equal(g.params[s], np.full((2, 3), 3.0))
+
+    def test_does_not_fold_runtime_dependent(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((2, 3)))
+        r = g.add_op("relu", [x])
+        g.set_outputs([r])
+        g.finalize()
+        assert fold_constants(g) == 0
+
+
+class TestDeadCode:
+    def test_removes_unreachable(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((1, 4)))
+        live = g.add_op("relu", [x])
+        dead_const = g.add_const("unused", np.ones((4, 4)))
+        dead = g.add_op("relu", [x])
+        g.set_outputs([live])
+        g.finalize()
+
+        removed = eliminate_dead_code(g)
+        assert removed == 2
+        assert dead not in g.nodes and dead_const not in g.nodes
+        assert dead_const not in g.params
+
+    def test_keeps_declared_inputs(self):
+        g = Graph("g")
+        x = g.add_input("x", TensorType((1, 4)))
+        y = g.add_input("unused_input", TensorType((1, 4)))
+        g.set_outputs([g.add_op("relu", [x])])
+        g.finalize()
+        eliminate_dead_code(g)
+        assert y in g.nodes
+
+
+class TestPipeline:
+    def test_default_pipeline_runs_to_fixpoint(self, rng):
+        graph = _bn_conv_graph(with_bias=True)
+        data = rng.normal(size=(1, 3, 8, 8))
+        before = compile_graph(graph, apply_passes=False)(data)
+        results = default_pipeline().run(graph)
+        assert any(r.rewrites for r in results)
+        after = compile_graph(graph, apply_passes=False)(data)
+        np.testing.assert_allclose(after, before, rtol=1e-9)
+
+    def test_optimize_returns_same_graph(self):
+        graph = _bn_conv_graph(with_bias=True)
+        assert optimize(graph) is graph
+
+    def test_pass_manager_add_chains(self):
+        manager = PassManager()
+        assert manager.add(eliminate_dead_code) is manager

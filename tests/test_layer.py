@@ -1,0 +1,133 @@
+"""Unit tests for workload descriptors (paper Table II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayerError
+from repro.stonne.layer import (
+    ConvLayer,
+    FcLayer,
+    GemmLayer,
+    ceil_div,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestConvLayer:
+    def test_output_dims_basic(self):
+        layer = ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=3)
+        assert (layer.P, layer.Q) == (8, 8)
+
+    def test_output_dims_stride_pad(self):
+        layer = ConvLayer(
+            "c", C=3, H=224, W=224, K=64, R=11, S=11,
+            stride_h=4, stride_w=4, pad_h=2, pad_w=2,
+        )
+        assert (layer.P, layer.Q) == (55, 55)
+
+    def test_macs_counts_groups(self):
+        dense = ConvLayer("c", C=4, H=6, W=6, K=8, R=3, S=3)
+        grouped = ConvLayer("g", C=4, H=6, W=6, K=8, R=3, S=3, G=2)
+        assert grouped.macs == dense.macs // 2
+
+    def test_element_counts(self):
+        layer = ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=3)
+        assert layer.input_elements == 300
+        assert layer.weight_elements == 4 * 3 * 9
+        assert layer.output_elements == 4 * 8 * 8
+
+    def test_as_gemm_im2col_dimensions(self):
+        layer = ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=3)
+        gemm = layer.as_gemm()
+        assert (gemm.M, gemm.K, gemm.N) == (4, 27, 64)
+        assert gemm.macs == layer.macs
+
+    def test_rejects_batch_not_one(self):
+        with pytest.raises(LayerError, match="batch size 1"):
+            ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=3, N=2)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(LayerError):
+            ConvLayer("c", C=0, H=10, W=10, K=4, R=3, S=3)
+        with pytest.raises(LayerError):
+            ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=-1)
+
+    def test_rejects_filter_larger_than_padded_input(self):
+        with pytest.raises(LayerError, match="larger than padded input"):
+            ConvLayer("c", C=3, H=4, W=4, K=4, R=7, S=7)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(LayerError, match="groups"):
+            ConvLayer("c", C=3, H=8, W=8, K=4, R=3, S=3, G=2)
+
+    def test_describe_mentions_name_and_macs(self):
+        layer = ConvLayer("convX", C=3, H=10, W=10, K=4, R=3, S=3)
+        text = layer.describe()
+        assert "convX" in text and "MACs" in text
+
+    @given(
+        c=st.integers(1, 8), hw=st.integers(3, 20),
+        k=st.integers(1, 8), rs=st.integers(1, 3),
+        stride=st.integers(1, 3), pad=st.integers(0, 2),
+    )
+    def test_output_dims_positive_property(self, c, hw, k, rs, stride, pad):
+        layer = ConvLayer(
+            "p", C=c, H=hw, W=hw, K=k, R=rs, S=rs,
+            stride_h=stride, stride_w=stride, pad_h=pad, pad_w=pad,
+        )
+        assert layer.P >= 1 and layer.Q >= 1
+        assert layer.macs == k * layer.P * layer.Q * rs * rs * c
+
+
+class TestFcLayer:
+    def test_macs(self):
+        layer = FcLayer("f", in_features=8, out_features=4)
+        assert layer.macs == 32
+
+    def test_as_gemm(self):
+        layer = FcLayer("f", in_features=8, out_features=4)
+        gemm = layer.as_gemm()
+        assert (gemm.M, gemm.K, gemm.N) == (4, 8, 1)
+
+    def test_rejects_batch_not_one(self):
+        with pytest.raises(LayerError, match="batch size 1"):
+            FcLayer("f", in_features=8, out_features=4, batch=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(LayerError):
+            FcLayer("f", in_features=0, out_features=4)
+
+
+class TestGemmLayer:
+    def test_macs_and_outputs(self):
+        gemm = GemmLayer("g", M=4, K=8, N=2)
+        assert gemm.macs == 64
+        assert gemm.output_elements == 8
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(LayerError):
+            GemmLayer("g", M=0, K=8, N=2)
+
+
+class TestHelpers:
+    @given(a=st.integers(0, 10_000), b=st.integers(1, 500))
+    def test_ceil_div_property(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b or (a == 0 and q == 0)
+
+    def test_ceil_div_rejects_zero_divisor(self):
+        with pytest.raises(LayerError):
+            ceil_div(5, 0)
+
+    @pytest.mark.parametrize("x,expected", [
+        (1, True), (2, True), (8, True), (128, True),
+        (0, False), (3, False), (6, False), (-4, False), (True, False),
+    ])
+    def test_is_power_of_two(self, x, expected):
+        assert is_power_of_two(x) is expected
+
+    @given(x=st.integers(1, 1 << 20))
+    def test_next_power_of_two_property(self, x):
+        p = next_power_of_two(x)
+        assert is_power_of_two(p) and p >= x and p // 2 < x

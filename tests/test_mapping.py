@@ -1,0 +1,137 @@
+"""Unit tests for dataflow mappings (paper Tables IV and V)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MappingError
+from repro.stonne.layer import ConvLayer, FcLayer
+from repro.stonne.mapping import (
+    ConvMapping,
+    FcMapping,
+    enumerate_conv_mappings,
+    enumerate_fc_mappings,
+)
+
+
+@pytest.fixture
+def conv():
+    return ConvLayer("c", C=4, H=10, W=10, K=8, R=3, S=3)
+
+
+@pytest.fixture
+def fc():
+    return FcLayer("f", in_features=64, out_features=32)
+
+
+class TestConvMapping:
+    def test_basic_is_all_ones(self):
+        basic = ConvMapping.basic()
+        assert basic.as_tuple() == (1,) * 8
+        assert basic.vn_size == 1 and basic.num_vns == 1
+
+    def test_vn_structure(self):
+        mapping = ConvMapping(T_R=3, T_S=3, T_C=2, T_K=2, T_X=2)
+        assert mapping.vn_size == 18
+        assert mapping.num_vns == 4
+        assert mapping.multipliers_used == 72
+
+    def test_validate_fits(self, conv):
+        ConvMapping(T_R=3, T_S=3, T_C=4).validate_for(conv, ms_size=64)
+
+    def test_validate_rejects_capacity_overflow(self, conv):
+        with pytest.raises(MappingError, match="multipliers"):
+            ConvMapping(T_R=3, T_S=3, T_C=4, T_K=4).validate_for(conv, ms_size=64)
+
+    def test_validate_rejects_tile_exceeding_dimension(self, conv):
+        with pytest.raises(MappingError, match="T_R"):
+            ConvMapping(T_R=4).validate_for(conv, ms_size=128)
+
+    def test_rejects_batch_tile(self):
+        with pytest.raises(MappingError, match="T_N"):
+            ConvMapping(T_N=2)
+
+    def test_rejects_zero_tile(self):
+        with pytest.raises(MappingError):
+            ConvMapping(T_R=0)
+
+    def test_iterations_product_of_folds(self, conv):
+        mapping = ConvMapping(T_R=3, T_S=3, T_C=2, T_X=2, T_Y=2)
+        folds = mapping.fold_counts(conv)
+        expected = 1
+        for count in folds.values():
+            expected *= count
+        assert mapping.iterations(conv) == expected
+        # R and S covered fully, C folds twice, 8x8 output in 2x2 tiles.
+        assert folds["R"] == 1 and folds["S"] == 1
+        assert folds["C"] == 2 and folds["X"] == 4 and folds["Y"] == 4
+
+    def test_reduction_folds(self, conv):
+        assert ConvMapping().reduction_folds(conv) == 3 * 3 * 4
+        assert ConvMapping(T_R=3, T_S=3, T_C=4).reduction_folds(conv) == 1
+
+    def test_with_updates(self):
+        assert ConvMapping().with_updates(T_K=4).T_K == 4
+
+    @given(
+        t_r=st.integers(1, 3), t_s=st.integers(1, 3),
+        t_c=st.integers(1, 4), t_k=st.integers(1, 8),
+        t_x=st.integers(1, 8), t_y=st.integers(1, 8),
+    )
+    def test_iterations_cover_all_macs(self, t_r, t_s, t_c, t_k, t_x, t_y):
+        """Tiles times folds always cover every dimension at least once."""
+        layer = ConvLayer("c", C=4, H=10, W=10, K=8, R=3, S=3)
+        mapping = ConvMapping(T_R=t_r, T_S=t_s, T_C=t_c, T_K=t_k, T_X=t_x, T_Y=t_y)
+        folds = mapping.fold_counts(layer)
+        assert folds["R"] * t_r >= layer.R
+        assert folds["C"] * t_c >= layer.C
+        assert folds["K"] * t_k >= layer.K
+        assert folds["X"] * t_x >= layer.P
+
+
+class TestFcMapping:
+    def test_basic(self):
+        assert FcMapping.basic().as_tuple() == (1, 1, 1)
+
+    def test_vn_structure(self):
+        mapping = FcMapping(T_S=16, T_K=8)
+        assert mapping.vn_size == 8
+        assert mapping.num_vns == 16
+        assert mapping.multipliers_used == 128
+
+    def test_validate_rejects_overflow(self, fc):
+        with pytest.raises(MappingError):
+            FcMapping(T_S=32, T_K=8).validate_for(fc, ms_size=128)
+
+    def test_validate_rejects_tile_exceeding_dims(self, fc):
+        with pytest.raises(MappingError, match="T_S"):
+            FcMapping(T_S=64).validate_for(fc, ms_size=256)
+        with pytest.raises(MappingError, match="T_K"):
+            FcMapping(T_K=128).validate_for(fc, ms_size=256)
+
+    def test_reduction_folds(self, fc):
+        assert FcMapping(T_K=8).reduction_folds(fc) == 8
+        assert FcMapping(T_K=64).reduction_folds(fc) == 1
+
+    def test_iterations(self, fc):
+        mapping = FcMapping(T_S=8, T_K=16)
+        assert mapping.iterations(fc) == (32 // 8) * (64 // 16)
+
+
+class TestEnumeration:
+    def test_enumerate_fc_covers_capacity_boundary(self, fc):
+        mappings = list(enumerate_fc_mappings(fc, ms_size=16))
+        assert all(m.multipliers_used <= 16 for m in mappings)
+        assert FcMapping(T_S=16, T_K=1) in mappings
+        assert FcMapping(T_S=1, T_K=16) in mappings
+        assert FcMapping(T_S=4, T_K=4) in mappings
+
+    def test_enumerate_conv_all_valid(self, conv):
+        mappings = list(enumerate_conv_mappings(conv, ms_size=16))
+        assert mappings, "expected a non-empty space"
+        for mapping in mappings:
+            mapping.validate_for(conv, ms_size=16)
+
+    def test_enumerate_conv_subsampling_bounds_size(self, conv):
+        full = sum(1 for _ in enumerate_conv_mappings(conv, 32))
+        sampled = sum(1 for _ in enumerate_conv_mappings(conv, 32, max_tile_options=2))
+        assert 0 < sampled < full

@@ -1,0 +1,100 @@
+"""Tests for the mRNA analytical mapper."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.mrna import MaeriAnalyticalModel, MrnaMapper
+from repro.stonne.config import maeri_config, sigma_config
+from repro.stonne.layer import ConvLayer, FcLayer
+from repro.stonne.maeri import MaeriController
+from repro.stonne.mapping import ConvMapping, FcMapping
+
+
+@pytest.fixture
+def mapper(maeri128):
+    return MrnaMapper(maeri128)
+
+
+@pytest.fixture
+def conv():
+    return ConvLayer("c", C=16, H=12, W=12, K=32, R=3, S=3, pad_h=1, pad_w=1)
+
+
+@pytest.fixture
+def fc():
+    return FcLayer("f", in_features=1024, out_features=512)
+
+
+class TestConstruction:
+    def test_requires_maeri(self):
+        with pytest.raises(TuningError, match="MAERI"):
+            MrnaMapper(sigma_config())
+
+
+class TestAnalyticalModel:
+    def test_estimates_track_simulation(self, maeri128, conv, fc):
+        """The analytical model should be within ~2% of simulated cycles
+        (it ignores only config/pipeline-fill overheads)."""
+        model = MaeriAnalyticalModel(maeri128)
+        controller = MaeriController(maeri128)
+        for mapping in [
+            ConvMapping(T_R=3, T_S=3, T_C=8),
+            ConvMapping(T_K=4, T_X=4, T_Y=4),
+            ConvMapping.basic(),
+        ]:
+            estimated = model.conv_cycles(conv, mapping)
+            simulated = controller.run_conv(conv, mapping).cycles
+            assert abs(estimated - simulated) / simulated < 0.02
+        for mapping in [FcMapping(T_S=16, T_K=8), FcMapping.basic()]:
+            estimated = model.fc_cycles(fc, mapping)
+            simulated = controller.run_fc(fc, mapping).cycles
+            assert abs(estimated - simulated) / simulated < 0.02
+
+    def test_utilization(self, maeri128, conv):
+        model = MaeriAnalyticalModel(maeri128)
+        assert model.conv_utilization(conv, ConvMapping(T_R=3, T_S=3, T_C=8)) == 72 / 128
+
+
+class TestMapper:
+    def test_conv_mapping_valid_and_fast(self, mapper, conv, maeri128):
+        mapping = mapper.map_conv(conv)
+        mapping.validate_for(conv, maeri128.ms_size)
+        assert mapping.multipliers_used > 1
+
+    def test_fc_mapping_valid(self, mapper, fc, maeri128):
+        mapping = mapper.map_fc(fc)
+        mapping.validate_for(fc, maeri128.ms_size)
+
+    def test_beats_basic_mapping_by_far(self, mapper, maeri128, conv, fc):
+        controller = MaeriController(maeri128)
+        conv_mrna = controller.run_conv(conv, mapper.map_conv(conv)).cycles
+        conv_basic = controller.run_conv(conv, ConvMapping.basic()).cycles
+        assert conv_basic > 10 * conv_mrna
+
+        fc_mrna = controller.run_fc(fc, mapper.map_fc(fc)).cycles
+        fc_basic = controller.run_fc(fc, FcMapping.basic()).cycles
+        assert fc_basic > 10 * fc_mrna
+
+    def test_fc_uses_spatial_reduction(self, mapper, fc):
+        """mRNA balances T_S and T_K, unlike psum-guided tuning."""
+        mapping = mapper.map_fc(fc)
+        assert mapping.T_K > 1
+
+    def test_mappings_vary_per_layer(self, mapper):
+        """Table VI: mRNA adapts the mapping to layer characteristics."""
+        a = mapper.map_fc(FcLayer("a", in_features=9216, out_features=4096))
+        b = mapper.map_fc(FcLayer("b", in_features=4096, out_features=1000))
+        assert (a.T_S, a.T_K) != (b.T_S, b.T_K) or a != b
+
+    def test_score_includes_estimate(self, mapper, conv):
+        choice = mapper.score_conv(conv)
+        assert choice.estimated_cycles > 0
+
+    def test_candidates_respect_capacity(self, mapper, conv, maeri128):
+        for candidate in mapper.conv_candidates(conv):
+            assert candidate.multipliers_used <= maeri128.ms_size
+
+    def test_small_array_still_maps(self, conv):
+        mapper = MrnaMapper(maeri_config(ms_size=8))
+        mapping = mapper.map_conv(conv)
+        assert mapping.multipliers_used <= 8

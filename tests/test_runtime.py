@@ -1,0 +1,111 @@
+"""Tests for the graph executor and offload policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import Graph, GraphBuilder, TensorType
+from repro.runtime import (
+    CompiledModule,
+    GraphExecutor,
+    compile_graph,
+    cpu_only_policy,
+    make_offload_policy,
+)
+from repro.topi.registry import register_op, unregister_op
+
+
+@pytest.fixture
+def simple_graph():
+    return (
+        GraphBuilder("m", (1, 4))
+        .dense(3, name="fc")
+        .relu()
+        .build()
+    )
+
+
+class TestExecutor:
+    def test_runs_and_profiles(self, rng, simple_graph):
+        executor = GraphExecutor(simple_graph)
+        out = executor.run({"data": rng.normal(size=(1, 4))})
+        assert out[0].shape == (1, 3)
+        report = executor.last_report
+        assert report is not None
+        assert report.by_target() == {"cpu": 3}  # dense, bias_add, relu
+        assert all(p.wall_time_s >= 0 for p in report.profiles)
+
+    def test_missing_feed(self, simple_graph):
+        with pytest.raises(GraphError, match="missing feed"):
+            GraphExecutor(simple_graph).run({})
+
+    def test_unknown_feed(self, rng, simple_graph):
+        with pytest.raises(GraphError, match="unknown feeds"):
+            GraphExecutor(simple_graph).run(
+                {"data": rng.normal(size=(1, 4)), "bogus": np.ones(2)}
+            )
+
+    def test_wrong_feed_shape(self, simple_graph):
+        with pytest.raises(GraphError, match="shape"):
+            GraphExecutor(simple_graph).run({"data": np.ones((2, 4))})
+
+    def test_multi_output_graph(self, rng):
+        g = Graph("multi")
+        x = g.add_input("x", TensorType((1, 4)))
+        r = g.add_op("relu", [x])
+        t = g.add_op("tanh", [x])
+        g.set_outputs([r, t])
+        g.finalize()
+        outs = GraphExecutor(g).run({"x": rng.normal(size=(1, 4))})
+        assert len(outs) == 2
+
+
+class TestOffloadPolicy:
+    def test_policy_falls_back_when_target_missing(self, simple_graph):
+        policy = make_offload_policy("phantom-target")
+        node = simple_graph.op_nodes("dense")[0]
+        assert policy(node) == "cpu"
+
+    def test_policy_routes_when_registered(self, rng, simple_graph):
+        @register_op("dense", "fake-accel")
+        def _dense_fake(attrs, inputs):
+            return np.zeros((inputs[0].shape[0], inputs[1].shape[0]))
+
+        try:
+            executor = GraphExecutor(
+                simple_graph, make_offload_policy("fake-accel")
+            )
+            executor.run({"data": rng.normal(size=(1, 4))})
+            report = executor.last_report
+            assert report.by_target() == {"fake-accel": 1, "cpu": 2}
+            assert report.offloaded("fake-accel")[0].op_name == "dense"
+        finally:
+            unregister_op("dense", "fake-accel")
+
+    def test_cpu_only_policy(self, simple_graph):
+        assert cpu_only_policy(simple_graph.op_nodes("dense")[0]) == "cpu"
+
+
+class TestCompiledModule:
+    def test_call_uses_first_input(self, rng, simple_graph):
+        module = CompiledModule(simple_graph)
+        out = module(rng.normal(size=(1, 4)))
+        assert out.shape == (1, 3)
+        assert module.report is not None
+
+    def test_compile_graph_applies_passes(self, rng):
+        graph = (
+            GraphBuilder("m", (1, 3, 8, 8))
+            .conv2d(4, (3, 3), name="conv")
+            .batch_norm()
+            .relu()
+            .build()
+        )
+        module = compile_graph(graph)
+        assert not graph.op_nodes("batch_norm")  # folded
+        assert module(rng.normal(size=(1, 3, 8, 8))).shape == (1, 4, 6, 6)
+
+    def test_summary_mentions_targets(self, rng, simple_graph):
+        module = CompiledModule(simple_graph)
+        module(rng.normal(size=(1, 4)))
+        assert "cpu" in module.report.summary()

@@ -1,0 +1,94 @@
+"""Behavioural tests for the SIGMA cycle model (Figure 9's substrate)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stonne.config import maeri_config, sigma_config
+from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer
+from repro.stonne.sigma import SigmaController
+
+
+@pytest.fixture
+def fc():
+    return FcLayer("fc", in_features=2048, out_features=1024)
+
+
+@pytest.fixture
+def conv():
+    return ConvLayer("conv", C=64, H=14, W=14, K=128, R=3, S=3, pad_h=1, pad_w=1)
+
+
+def cycles_at(sparsity: int, layer) -> int:
+    controller = SigmaController(sigma_config(sparsity_ratio=sparsity))
+    if isinstance(layer, FcLayer):
+        return controller.run_fc(layer).cycles
+    if isinstance(layer, ConvLayer):
+        return controller.run_conv(layer).cycles
+    return controller.run_gemm(layer).cycles
+
+
+class TestConstruction:
+    def test_rejects_non_sigma_config(self):
+        with pytest.raises(ConfigError, match="SIGMA"):
+            SigmaController(maeri_config())
+
+
+class TestSparsityScaling:
+    def test_cycles_decrease_monotonically_with_sparsity(self, fc):
+        values = [cycles_at(s, fc) for s in (0, 25, 50, 75, 90)]
+        assert values == sorted(values, reverse=True)
+        assert all(v > 0 for v in values)
+
+    def test_fc_savings_exceed_sparsity_fraction(self, fc):
+        """Figure 9b: FC layers save slightly more than the pruned share
+        (dense bitmaps congest the Benes routing)."""
+        dense, sparse = cycles_at(0, fc), cycles_at(50, fc)
+        saving = 1 - sparse / dense
+        assert 0.50 < saving < 0.60
+
+    def test_conv_savings_below_sparsity_fraction(self, conv):
+        """Figure 9a: conv savings trail the sparsity because the im2col
+        input matrix stays dense."""
+        dense, sparse = cycles_at(0, conv), cycles_at(50, conv)
+        saving = 1 - sparse / dense
+        assert 0.35 < saving < 0.50
+
+    def test_psums_sparsity_invariant(self, fc):
+        """Position-tiled folds make psum traffic independent of sparsity."""
+        p0 = SigmaController(sigma_config(sparsity_ratio=0)).run_fc(fc).psums
+        p50 = SigmaController(sigma_config(sparsity_ratio=50)).run_fc(fc).psums
+        assert p0 == p50
+
+    def test_effective_macs_scale_with_density(self, fc):
+        c = SigmaController(sigma_config(sparsity_ratio=50))
+        stats = c.run_fc(fc)
+        assert stats.macs == pytest.approx(fc.macs * 0.5, rel=0.01)
+
+
+class TestStructure:
+    def test_position_folds(self):
+        controller = SigmaController(sigma_config())
+        assert controller.position_folds(128) == 1
+        assert controller.position_folds(129) == 2
+
+    def test_conv_runs_as_im2col_gemm(self, conv):
+        controller = SigmaController(sigma_config())
+        stats = controller.run_conv(conv)
+        assert stats.layer_name == conv.name
+        assert stats.macs == conv.macs
+
+    def test_gemm_stats_fields(self):
+        controller = SigmaController(sigma_config())
+        gemm = GemmLayer("g", M=64, K=256, N=32)
+        stats = controller.run_gemm(gemm)
+        assert stats.psums == gemm.output_elements * controller.position_folds(256)
+        assert stats.traffic.inputs_distributed == 256 * 32
+        assert stats.cycles > 0
+
+    def test_more_multipliers_fewer_cycles(self, fc):
+        small = SigmaController(sigma_config(ms_size=32)).run_fc(fc).cycles
+        large = SigmaController(sigma_config(ms_size=256)).run_fc(fc).cycles
+        assert large < small
+
+    def test_full_sparsity_still_positive_cycles(self, fc):
+        assert cycles_at(100, fc) > 0

@@ -1,0 +1,276 @@
+"""Tests for the operator inventory: conv2d, dense, pooling, activations,
+normalization, layouts, and the strategy registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError, LayerError
+from repro.topi import (
+    adaptive_avg_pool2d,
+    avg_pool2d,
+    batch_norm_inference,
+    bias_add,
+    conv2d_direct_nchw,
+    conv2d_im2col_nchw,
+    conv2d_nchw,
+    conv2d_nhwc,
+    conv2d_output_shape,
+    dense,
+    flatten,
+    fold_batch_norm_into_conv,
+    im2col_nchw,
+    kcrs_to_rsck,
+    leaky_relu,
+    log_softmax,
+    lookup_op,
+    lrn,
+    matmul,
+    max_pool2d,
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+    register_op,
+    registered_ops,
+    relu,
+    rsck_to_kcrs,
+    sigmoid,
+    softmax,
+    tanh,
+    unregister_op,
+)
+
+
+class TestConv2d:
+    @given(
+        c=st.integers(1, 4), hw=st.integers(4, 10), k=st.integers(1, 4),
+        rs=st.integers(1, 3), stride=st.integers(1, 2), pad=st.integers(0, 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_im2col_matches_direct(self, c, hw, k, rs, stride, pad):
+        rng = np.random.default_rng(c * 100 + hw)
+        data = rng.normal(size=(1, c, hw, hw))
+        weights = rng.normal(size=(k, c, rs, rs))
+        fast = conv2d_im2col_nchw(data, weights, (stride, stride), (pad, pad))
+        slow = conv2d_direct_nchw(data, weights, (stride, stride), (pad, pad))
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+    def test_dilation(self, rng):
+        data = rng.normal(size=(1, 2, 10, 10))
+        weights = rng.normal(size=(3, 2, 3, 3))
+        fast = conv2d_im2col_nchw(data, weights, dilation=(2, 2))
+        slow = conv2d_direct_nchw(data, weights, dilation=(2, 2))
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+        assert fast.shape == (1, 3, 6, 6)
+
+    def test_groups(self, rng):
+        data = rng.normal(size=(1, 4, 8, 8))
+        weights = rng.normal(size=(8, 2, 3, 3))
+        fast = conv2d_im2col_nchw(data, weights, groups=2)
+        slow = conv2d_direct_nchw(data, weights, groups=2)
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+    def test_nhwc_equivalent_to_nchw(self, rng):
+        data = rng.normal(size=(1, 3, 9, 9))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        out_nchw = conv2d_nchw(data, weights, padding=(1, 1))
+        out_nhwc = conv2d_nhwc(nchw_to_nhwc(data), kcrs_to_rsck(weights),
+                               padding=(1, 1))
+        np.testing.assert_allclose(nhwc_to_nchw(out_nhwc), out_nchw, rtol=1e-10)
+
+    def test_output_shape_errors(self):
+        with pytest.raises(LayerError, match="empty"):
+            conv2d_output_shape((1, 3, 4, 4), (4, 3, 7, 7))
+        with pytest.raises(LayerError, match="groups"):
+            conv2d_output_shape((1, 3, 8, 8), (4, 3, 3, 3), groups=2)
+
+    def test_im2col_matrix_shape(self, rng):
+        cols = im2col_nchw(rng.normal(size=(1, 3, 10, 10)), (3, 3))
+        assert cols.shape == (1, 27, 64)
+
+    def test_batched_input(self, rng):
+        """The reference ops support N>1 even though STONNE does not."""
+        data = rng.normal(size=(2, 3, 8, 8))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d_im2col_nchw(data, weights)
+        for n in range(2):
+            np.testing.assert_allclose(
+                out[n], conv2d_direct_nchw(data[n:n + 1], weights)[0], rtol=1e-10
+            )
+
+
+class TestDense:
+    def test_linear_convention(self, rng):
+        data = rng.normal(size=(2, 8))
+        weights = rng.normal(size=(4, 8))
+        np.testing.assert_allclose(dense(data, weights), data @ weights.T)
+
+    def test_shape_errors(self, rng):
+        with pytest.raises(LayerError):
+            dense(rng.normal(size=(2, 8)), rng.normal(size=(4, 9)))
+        with pytest.raises(LayerError):
+            dense(rng.normal(size=8), rng.normal(size=(4, 8)))
+
+    def test_bias_add_axes(self, rng):
+        data = rng.normal(size=(1, 4, 3, 3))
+        bias = np.arange(4.0)
+        out = bias_add(data, bias, axis=1)
+        np.testing.assert_allclose(out[0, 2], data[0, 2] + 2.0)
+        with pytest.raises(LayerError):
+            bias_add(data, np.arange(3.0), axis=1)
+
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose(matmul(a, b), a @ b)
+        with pytest.raises(LayerError):
+            matmul(a, rng.normal(size=(5, 4)))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        data = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = max_pool2d(data, (2, 2), (2, 2))
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_padding_never_wins(self):
+        data = -np.ones((1, 1, 2, 2))
+        out = max_pool2d(data, (2, 2), (2, 2), padding=(1, 1))
+        assert out.max() == -1.0
+
+    def test_avg_pool_counts_padding(self):
+        data = np.ones((1, 1, 2, 2))
+        out = avg_pool2d(data, (2, 2), (2, 2), padding=(1, 1))
+        assert out[0, 0, 0, 0] == pytest.approx(0.25)
+
+    def test_adaptive_avg_pool_global(self, rng):
+        data = rng.normal(size=(1, 3, 7, 5))
+        out = adaptive_avg_pool2d(data, (1, 1))
+        np.testing.assert_allclose(out[0, :, 0, 0], data.mean(axis=(2, 3))[0])
+
+    def test_adaptive_avg_pool_identity(self, rng):
+        data = rng.normal(size=(1, 2, 4, 4))
+        np.testing.assert_allclose(adaptive_avg_pool2d(data, (4, 4)), data)
+
+    def test_flatten(self, rng):
+        assert flatten(rng.normal(size=(2, 3, 4))).shape == (2, 12)
+        with pytest.raises(LayerError):
+            flatten(np.ones(3))
+
+    def test_pool_shape_errors(self):
+        with pytest.raises(LayerError):
+            max_pool2d(np.ones((1, 1, 2, 2)), (4, 4), (1, 1))
+
+
+class TestActivations:
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_leaky_relu(self):
+        np.testing.assert_allclose(
+            leaky_relu(np.array([-2.0, 3.0]), alpha=0.1), [-0.2, 3.0]
+        )
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_softmax_sums_to_one(self, rng):
+        out = softmax(rng.normal(size=(3, 7)) * 100)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)), rtol=1e-9)
+
+    def test_tanh(self):
+        np.testing.assert_allclose(tanh(np.array([0.0])), [0.0])
+
+
+class TestNormalization:
+    def test_batch_norm_normalizes(self, rng):
+        data = rng.normal(loc=5.0, scale=2.0, size=(1, 3, 50, 50))
+        mean = data.mean(axis=(0, 2, 3))
+        var = data.var(axis=(0, 2, 3))
+        out = batch_norm_inference(
+            data, np.ones(3), np.zeros(3), mean, var, epsilon=0.0
+        )
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, rtol=1e-10)
+
+    def test_fold_batch_norm_equivalence(self, rng):
+        data = rng.normal(size=(1, 3, 8, 8))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        bias = rng.normal(size=4)
+        gamma, beta = rng.uniform(0.5, 2, 4), rng.normal(size=4)
+        mean, var = rng.normal(size=4), rng.uniform(0.5, 2, 4)
+
+        direct = batch_norm_inference(
+            conv2d_nchw(data, weights) + bias.reshape(1, 4, 1, 1),
+            gamma, beta, mean, var,
+        )
+        fw, fb = fold_batch_norm_into_conv(weights, bias, gamma, beta, mean, var)
+        folded = conv2d_nchw(data, fw) + fb.reshape(1, 4, 1, 1)
+        np.testing.assert_allclose(folded, direct, rtol=1e-9)
+
+    def test_lrn_shape_and_positivity_of_denominator(self, rng):
+        data = rng.normal(size=(1, 8, 4, 4))
+        out = lrn(data)
+        assert out.shape == data.shape
+        assert np.all(np.abs(out) <= np.abs(data) + 1e-12)
+
+
+class TestLayouts:
+    @given(
+        n=st.integers(1, 2), c=st.integers(1, 5),
+        h=st.integers(1, 6), w=st.integers(1, 6),
+    )
+    @settings(max_examples=20)
+    def test_activation_roundtrip(self, n, c, h, w):
+        data = np.random.default_rng(0).normal(size=(n, c, h, w))
+        np.testing.assert_array_equal(nhwc_to_nchw(nchw_to_nhwc(data)), data)
+
+    def test_kernel_roundtrip(self, rng):
+        weights = rng.normal(size=(4, 3, 5, 5))
+        np.testing.assert_array_equal(rsck_to_kcrs(kcrs_to_rsck(weights)), weights)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(LayerError):
+            nchw_to_nhwc(np.ones((2, 3)))
+
+
+class TestRegistry:
+    def test_cpu_inventory_complete(self):
+        ops = registered_ops("cpu")
+        for name in ("conv2d", "dense", "relu", "max_pool2d", "batch_norm",
+                     "softmax", "flatten", "lrn", "bias_add"):
+            assert name in ops
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(GraphError, match="no implementation"):
+            lookup_op("conv2d", "nonexistent-target")
+
+    def test_register_and_unregister(self):
+        @register_op("relu", "testtarget")
+        def _relu_test(attrs, inputs):
+            return inputs[0]
+
+        assert lookup_op("relu", "testtarget") is _relu_test
+        with pytest.raises(GraphError, match="already registered"):
+            register_op("relu", "testtarget")(lambda a, i: i[0])
+        register_op("relu", "testtarget", override=True)(lambda a, i: i[0])
+        unregister_op("relu", "testtarget")
+        with pytest.raises(GraphError):
+            lookup_op("relu", "testtarget")
+
+    def test_cpu_conv2d_strategy_respects_layout(self, rng):
+        impl = lookup_op("conv2d", "cpu")
+        data = rng.normal(size=(1, 3, 8, 8))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        out = impl({"data_layout": "NCHW"}, [data, weights])
+        np.testing.assert_allclose(out, conv2d_nchw(data, weights), rtol=1e-10)
+        out2 = impl(
+            {"data_layout": "NHWC"}, [nchw_to_nhwc(data), kcrs_to_rsck(weights)]
+        )
+        np.testing.assert_allclose(nhwc_to_nchw(out2), out, rtol=1e-10)

@@ -1,0 +1,63 @@
+"""Behavioural tests for the TPU (output-stationary mesh) model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stonne.config import sigma_config, tpu_config
+from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer, ceil_div
+from repro.stonne.params import DEFAULT_PARAMS
+from repro.stonne.tpu import TpuController
+
+
+class TestConstruction:
+    def test_rejects_non_tpu_config(self):
+        with pytest.raises(ConfigError, match="TPU"):
+            TpuController(sigma_config())
+
+
+class TestSystolicSchedule:
+    def test_single_tile_formula(self):
+        controller = TpuController(tpu_config(ms_rows=4, ms_cols=4))
+        gemm = GemmLayer("g", M=4, K=32, N=4)
+        stats = controller.run_gemm(gemm)
+        per_tile = 32 + (4 + 4 - 2) + 1
+        assert stats.cycles == DEFAULT_PARAMS.config_cycles + per_tile
+        assert stats.iterations == 1
+
+    def test_tiling_counts(self):
+        controller = TpuController(tpu_config(ms_rows=8, ms_cols=8))
+        gemm = GemmLayer("g", M=20, K=16, N=17)
+        stats = controller.run_gemm(gemm)
+        assert stats.iterations == ceil_div(20, 8) * ceil_div(17, 8)
+
+    def test_bigger_mesh_fewer_cycles(self):
+        gemm = GemmLayer("g", M=256, K=64, N=256)
+        small = TpuController(tpu_config(4, 4)).run_gemm(gemm).cycles
+        large = TpuController(tpu_config(16, 16)).run_gemm(gemm).cycles
+        assert large < small
+
+    def test_psums_are_temporal(self):
+        controller = TpuController(tpu_config(4, 4))
+        gemm = GemmLayer("g", M=4, K=32, N=4)
+        assert controller.run_gemm(gemm).psums == 16 * 32
+
+
+class TestLoweredLayers:
+    def test_conv_lowered_to_gemm(self):
+        controller = TpuController(tpu_config(8, 8))
+        conv = ConvLayer("c", C=8, H=10, W=10, K=16, R=3, S=3)
+        stats = controller.run_conv(conv)
+        assert stats.layer_name == "c"
+        assert stats.macs == conv.macs
+
+    def test_fc_lowered_to_gemm(self):
+        controller = TpuController(tpu_config(8, 8))
+        fc = FcLayer("f", in_features=128, out_features=64)
+        stats = controller.run_fc(fc)
+        assert stats.macs == fc.macs
+
+    def test_fixed_dataflow_ignores_mapping_knobs(self):
+        """The TPU has no mapping: same layer, same cycles, always."""
+        controller = TpuController(tpu_config(8, 8))
+        fc = FcLayer("f", in_features=128, out_features=64)
+        assert controller.run_fc(fc).cycles == controller.run_fc(fc).cycles
