@@ -1,0 +1,102 @@
+"""Tentpole benchmark: the evaluation engine's stats cache under GA tuning.
+
+The paper's exact tuning objective requires "a full simulation for every
+trial" (§VII-B) — in real STONNE that includes executing the layer's
+datapath, which is why cycles-objective tuning is expensive.  This bench
+re-tunes a sequence of structurally identical conv layers (networks
+repeat shapes constantly: VGG/AlexNet stack same-shape blocks) with the
+GA tuner and the cycles objective, through engines whose simulations run
+the exact im2col-GEMM datapath (``functional=True``), and compares:
+
+* **cache disabled** — every trial of every re-tuning simulates;
+* **cache enabled** — the first tuning run populates the cache; every
+  subsequent run is served from it (keys are structural, so distinct
+  layer names share entries).
+
+Best-found cost must be identical — caching is an optimization, not an
+approximation — and the cache-aware ``num_measurements`` vs
+``num_simulations`` counters show the real simulation savings.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.engine import EvaluationEngine, StatsCache
+from repro.stonne.config import maeri_config
+from repro.stonne.layer import ConvLayer
+from repro.tuner.measure import MaeriConvTask
+from repro.tuner.tuners.ga import GATuner
+
+#: Re-tunings of the same layer shape (distinct names, like real networks).
+REPEATS = 12
+TRIALS = 400
+SEED = 0
+
+CONFIG = maeri_config()
+
+
+def _layer(i: int) -> ConvLayer:
+    return ConvLayer(
+        f"block{i}.conv", C=64, H=28, W=28, K=96, R=3, S=3, pad_h=1, pad_w=1
+    )
+
+
+def _tune_sequence(cache_enabled: bool):
+    """GA-tune REPEATS same-shape layers through one shared engine."""
+    engine = EvaluationEngine(
+        CONFIG,
+        cache=StatsCache(),
+        cache_enabled=cache_enabled,
+        functional=True,
+    )
+    best_costs = []
+    measurements = simulations = 0
+    start = time.perf_counter()
+    for i in range(REPEATS):
+        task = MaeriConvTask(
+            _layer(i), CONFIG, objective="cycles", engine=engine
+        )
+        result = GATuner(task, seed=SEED).tune(n_trials=TRIALS)
+        best_costs.append(result.best_cost)
+        measurements += task.num_measurements
+        simulations += task.num_simulations
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed": elapsed,
+        "best_costs": best_costs,
+        "measurements": measurements,
+        "simulations": simulations,
+        "hit_rate": engine.cache.hit_rate,
+    }
+
+
+def _run():
+    disabled = _tune_sequence(cache_enabled=False)
+    enabled = _tune_sequence(cache_enabled=True)
+    return disabled, enabled
+
+
+def test_engine_cache_speedup(benchmark, results_dir):
+    disabled, enabled = benchmark.pedantic(_run, rounds=1, iterations=1)
+    speedup = disabled["elapsed"] / enabled["elapsed"]
+    lines = [
+        f"GA tuning, cycles objective, {REPEATS} same-shape layers x "
+        f"{TRIALS} trials (seed {SEED})",
+        f"{'':<16}{'wall s':>10}{'measurements':>14}{'simulations':>13}",
+        f"{'cache disabled':<16}{disabled['elapsed']:>10.3f}"
+        f"{disabled['measurements']:>14,}{disabled['simulations']:>13,}",
+        f"{'cache enabled':<16}{enabled['elapsed']:>10.3f}"
+        f"{enabled['measurements']:>14,}{enabled['simulations']:>13,}",
+        f"speedup: {speedup:.1f}x   cache hit rate: {enabled['hit_rate']:.1%}",
+        f"best cycles (identical both arms): {int(enabled['best_costs'][0]):,}",
+    ]
+    emit(results_dir, "engine_cache", "\n".join(lines))
+
+    # Correctness: caching never changes what the tuner finds.
+    assert enabled["best_costs"] == disabled["best_costs"]
+    assert len(set(enabled["best_costs"])) == 1  # deterministic re-tunings
+    # The cache eliminates every re-simulation after the first run...
+    assert enabled["simulations"] == disabled["simulations"] // REPEATS
+    # ...which is the acceptance bar: >= 5x wall-time reduction.
+    assert speedup >= 5.0, f"cache speedup only {speedup:.2f}x"

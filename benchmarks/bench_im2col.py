@@ -1,0 +1,83 @@
+"""Satellite benchmark: vectorized im2col vs the seed's Python triple loop.
+
+The im2col lowering runs inside every functional conv execution (§V's
+step ii / the exact GEMM datapath), so its cost multiplies across every
+offloaded layer.  This bench keeps the pre-vectorization loop as the
+baseline oracle, asserts bit-identical output, and reports the speedup
+of the stride-tricks implementation.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.stonne.layer import ConvLayer
+from repro.stonne.simulator import _im2col
+
+ROUNDS = 10
+
+LAYERS = [
+    ConvLayer("alexnet_conv2ish", C=64, H=27, W=27, K=192, R=5, S=5, pad_h=2, pad_w=2),
+    ConvLayer("vgg_conv3ish", C=128, H=28, W=28, K=256, R=3, S=3, pad_h=1, pad_w=1),
+    ConvLayer("strided", C=64, H=32, W=32, K=64, R=3, S=3, stride_h=2, stride_w=2),
+]
+
+
+def _im2col_loop(data: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """The seed implementation (pre-vectorization), batch element 0."""
+    padded = np.pad(
+        data,
+        ((0, 0), (0, 0), (layer.pad_h, layer.pad_h), (layer.pad_w, layer.pad_w)),
+        mode="constant",
+    )
+    p, q = layer.P, layer.Q
+    c = layer.C
+    cols = np.empty((c * layer.R * layer.S, p * q), dtype=padded.dtype)
+    idx = 0
+    for ch in range(c):
+        for r in range(layer.R):
+            for s in range(layer.S):
+                patch = padded[
+                    0,
+                    ch,
+                    r : r + p * layer.stride_h : layer.stride_h,
+                    s : s + q * layer.stride_w : layer.stride_w,
+                ]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return cols
+
+
+def _time(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run():
+    rng = np.random.default_rng(0)
+    rows = []
+    for layer in LAYERS:
+        data = rng.normal(size=(1, layer.C, layer.H, layer.W))
+        loop_cols = _im2col_loop(data, layer)
+        vec_cols = _im2col(data, layer)
+        np.testing.assert_array_equal(vec_cols[0], loop_cols)
+        t_loop = _time(lambda: _im2col_loop(data, layer))
+        t_vec = _time(lambda: _im2col(data, layer))
+        rows.append((layer.name, t_loop * 1e3, t_vec * 1e3, t_loop / t_vec))
+    return rows
+
+
+def test_bench_im2col(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"{'layer':<18}{'loop ms':>10}{'vectorized ms':>15}{'speedup':>10}"]
+    for name, t_loop, t_vec, speedup in rows:
+        lines.append(f"{name:<18}{t_loop:>10.3f}{t_vec:>15.3f}{speedup:>9.1f}x")
+    emit(results_dir, "im2col_vectorization", "\n".join(lines))
+
+    for name, _, _, speedup in rows:
+        assert speedup > 1.0, f"{name}: vectorized im2col slower than the loop"

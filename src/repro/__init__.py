@@ -6,7 +6,9 @@ optimization.  This package implements every substrate in Python:
 
 * :mod:`repro.ir`, :mod:`repro.topi`, :mod:`repro.frontends`,
   :mod:`repro.runtime` -- the mini deep-learning compiler (TVM stand-in);
-* :mod:`repro.stonne` -- the cycle-level simulator (MAERI, SIGMA, TPU);
+* :mod:`repro.stonne` -- the cycle-level simulator (MAERI, SIGMA, MAGMA,
+  TPU behind a controller registry);
+* :mod:`repro.engine` -- cached/batched evaluation over the simulators;
 * :mod:`repro.tuner` -- the auto-tuning module (AutoTVM stand-in);
 * :mod:`repro.mrna` -- the specialized analytical mapper for MAERI;
 * :mod:`repro.bifrost` -- Bifrost itself, gluing the pieces together;

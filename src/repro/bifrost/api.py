@@ -26,8 +26,10 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.bifrost.mapping_config import MappingConfigurator
+from repro.engine import EvaluationEngine
 from repro.errors import LayerError, SimulationError
-from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.config import SimulatorConfig
+from repro.stonne.controller import controller_class
 from repro.stonne.layer import ConvLayer, FcLayer
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
 from repro.stonne.simulator import Stonne
@@ -54,9 +56,30 @@ class StonneBifrostApi:
     params: CycleModelParams = DEFAULT_PARAMS
     stats: List[SimulationStats] = field(default_factory=list)
     _layer_counter: Dict[str, int] = field(default_factory=dict)
+    _engine: Optional[EvaluationEngine] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        # One engine per session, shared with the mapping configurator so
+        # tuner simulations and run_layers populate the same stats cache.
+        if self._engine is None:
+            self._engine = EvaluationEngine(self.config, self.params)
+        if self.mappings.engine is None:
+            self.mappings.engine = self._engine
 
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> EvaluationEngine:
+        """The session's evaluation engine (cache shared across every run
+        of the session and with mapping tuning)."""
+        assert self._engine is not None
+        return self._engine
+
+    def _controller_cls(self):
+        return controller_class(self.config.controller_type)
+
     def reset_stats(self) -> None:
+        """Clear recorded per-layer stats (the engine cache persists —
+        cached simulations stay valid across runs)."""
         self.stats.clear()
         self._layer_counter.clear()
 
@@ -71,14 +94,7 @@ class StonneBifrostApi:
 
     def _maybe_prune(self, weights: np.ndarray) -> np.ndarray:
         """Apply the configured sparsity to weights (sparse architectures)."""
-        sparse_controllers = (
-            ControllerType.SIGMA_SPARSE_GEMM,
-            ControllerType.MAGMA_SPARSE_DENSE,
-        )
-        if (
-            self.config.controller_type in sparse_controllers
-            and self.config.sparsity_ratio
-        ):
+        if self._controller_cls().consumes_sparsity and self.config.sparsity_ratio:
             return prune_to_sparsity(weights, self.config.sparsity_ratio)
         return weights
 
@@ -119,7 +135,8 @@ class StonneBifrostApi:
             )
         weights = self._maybe_prune(weights)
 
-        if self.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
+        if self._controller_cls().requires_mapping:
+            # Mapping-driven architectures (MAERI) consume NHWC/RSCK (§V-B1).
             # Steps i-ii: transpose NCHW -> NHWC and KCRS -> RSCK on the CPU.
             nhwc = nchw_to_nhwc(np.asarray(data, dtype=np.float64))
             rsck = np.ascontiguousarray(
@@ -201,13 +218,12 @@ class StonneBifrostApi:
         )
         weights = self._maybe_prune(np.asarray(weights, dtype=np.float64))
         simulator = Stonne(self.config, self.params)
-        if self.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
-            mapping = self.mappings.mapping_for(layer)
-            result = simulator.run_dense(
-                layer, mapping=mapping, data=data, weights=weights
-            )
-        else:
-            result = simulator.run_dense(layer, data=data, weights=weights)
+        mapping = (
+            self.mappings.mapping_for(layer)
+            if self._controller_cls().requires_mapping
+            else None
+        )
+        result = simulator.run_dense(layer, mapping=mapping, data=data, weights=weights)
         assert result.output is not None
         self.stats.append(result.stats)
         return result.output

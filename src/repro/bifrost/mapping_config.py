@@ -15,9 +15,11 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Optional, Union
 
+from repro.engine import EvaluationEngine
 from repro.errors import MappingError, TuningError
 from repro.mrna.mapper import MrnaMapper
-from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.config import SimulatorConfig
+from repro.stonne.controller import controller_class
 from repro.stonne.layer import ConvLayer, FcLayer
 from repro.stonne.mapping import ConvMapping, FcMapping
 from repro.tuner.measure import MaeriConvTask, MaeriFcTask
@@ -55,6 +57,7 @@ class MappingConfigurator:
     tuner_early_stopping: int = 120
     seed: int = 0
     manual: Dict[str, Mapping] = field(default_factory=dict)
+    engine: Optional[EvaluationEngine] = field(default=None, repr=False)
     _cache: Dict[str, Mapping] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -92,7 +95,7 @@ class MappingConfigurator:
             )
 
     def _generate(self, layer: Layer) -> Mapping:
-        if self.config.controller_type is not ControllerType.MAERI_DENSE_WORKLOAD:
+        if not controller_class(self.config.controller_type).requires_mapping:
             raise TuningError(
                 "mappings are only configurable for MAERI; SIGMA and the TPU "
                 "orchestrate their own dataflow"
@@ -111,11 +114,22 @@ class MappingConfigurator:
         return self._tune(layer)
 
     def _tune(self, layer: Layer) -> Mapping:
-        """Run the AutoTVM module (GBT tuner, early stopping) on a layer."""
+        """Run the AutoTVM module (GBT tuner, early stopping) on a layer.
+
+        Every layer's task shares this configurator's evaluation engine,
+        so tuning a layer whose shape already appeared in the network is
+        served from the stats cache instead of re-simulated.
+        """
+        if self.engine is None:
+            self.engine = EvaluationEngine(self.config)
         if isinstance(layer, ConvLayer):
-            task = MaeriConvTask(layer, self.config, objective=self.objective)
+            task = MaeriConvTask(
+                layer, self.config, objective=self.objective, engine=self.engine
+            )
         else:
-            task = MaeriFcTask(layer, self.config, objective=self.objective)
+            task = MaeriFcTask(
+                layer, self.config, objective=self.objective, engine=self.engine
+            )
         tuner = XGBTuner(task, seed=self.seed)
         result = tuner.tune(
             n_trials=self.tuner_trials,

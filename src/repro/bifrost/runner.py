@@ -121,30 +121,22 @@ def run_layers(
     Accepts :class:`~repro.stonne.layer.ConvLayer` /
     :class:`~repro.stonne.layer.FcLayer` descriptors and returns one
     stats record per layer, honouring the session's mapping strategy.
+    Evaluations route through the session's
+    :class:`~repro.engine.EvaluationEngine`, so repeated shapes are
+    served from the stats cache instead of re-simulated.
     """
     from repro.stonne.layer import ConvLayer, FcLayer
-    from repro.stonne.simulator import Stonne
-    from repro.stonne.config import ControllerType
 
+    engine = session.engine
     results: List[SimulationStats] = []
     for layer in layers:
-        simulator = Stonne(session.config, session.params)
-        if isinstance(layer, ConvLayer):
-            if session.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
-                mapping = session.mappings.mapping_for(layer)
-                stats = simulator.run_conv2d(layer, mapping=mapping).stats
-            else:
-                stats = simulator.run_conv2d(layer).stats
-        elif isinstance(layer, FcLayer):
-            if session.config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
-                mapping = session.mappings.mapping_for(layer)
-                stats = simulator.run_dense(layer, mapping=mapping).stats
-            else:
-                stats = simulator.run_dense(layer).stats
-        else:
+        if not isinstance(layer, (ConvLayer, FcLayer)):
             raise TypeError(
                 f"run_layers expects ConvLayer/FcLayer, got {type(layer).__name__}"
             )
-        results.append(stats)
+        mapping = (
+            session.mappings.mapping_for(layer) if engine.requires_mapping else None
+        )
+        results.append(engine.evaluate(layer, mapping))
     session.stats.extend(results)
     return results

@@ -1,0 +1,66 @@
+"""repro.engine — cached, batched evaluation of simulated accelerators.
+
+Why this package exists
+-----------------------
+Bifrost's core loop (§V, §VII-B of the paper) is "configure a simulator
+instance per layer, run, record stats", repeated thousands of times
+during mapping tuning — where the paper notes a full simulation per
+trial is the *expensive exact objective*.  The seed code re-simulated
+identical (layer, mapping, config) triples from scratch on every trial;
+this package turns that hot path into a service with memoization and
+batching.
+
+Components
+----------
+:class:`~repro.engine.cache.StatsCache`
+    A thread-safe, LRU-bounded, content-addressed cache mapping the
+    fingerprint of (layer, mapping, SimulatorConfig, CycleModelParams)
+    to :class:`~repro.stonne.stats.SimulationStats`, with hit/miss
+    counters.  Keys are structural — the layer *name* is excluded — so
+    re-tuning a layer whose shape already appeared (common in real
+    networks: VGG/AlexNet repeat shapes) hits the cache.
+
+:class:`~repro.engine.evaluation.EvaluationEngine`
+    The evaluation front end.  ``evaluate(layer, mapping)`` resolves the
+    architecture through the controller registry, consults the cache,
+    and simulates on a miss; ``evaluate_many`` fans a batch of
+    :class:`~repro.engine.evaluation.EvalRequest` out over a thread
+    pool (each worker gets its own controller instance, so the cycle
+    models' internal tallies never race).  ``num_simulations`` vs
+    ``num_evaluations`` counters expose real simulation savings.
+
+    ``functional=True`` additionally executes the exact datapath (the
+    im2col GEMM) per simulation, reproducing the cost profile of real
+    STONNE — which always computes outputs — so benchmarks can measure
+    cache benefit against realistic per-trial cost.  Stats are identical
+    with and without the functional datapath (mapping-invariance).
+
+Who routes through it
+---------------------
+* ``repro.tuner.measure.TuningTask`` — cycles/energy objectives
+  evaluate through an engine, making GA/XGB tuning dramatically cheaper
+  on revisited configs while keeping results bit-identical;
+* ``repro.bifrost.runner.run_layers`` — bare-descriptor benchmarking
+  uses the session's engine;
+* ``benchmarks/bench_engine_cache.py`` — measures the speedup.
+
+Results are bit-identical with the cache on or off: every controller is
+a deterministic function of (layer, config, params, mapping), and cache
+hits return independent copies so callers can never corrupt the cache.
+"""
+
+from repro.engine.cache import StatsCache
+from repro.engine.evaluation import (
+    EvalRequest,
+    EvaluationEngine,
+    evaluation_key,
+    fingerprint_config,
+)
+
+__all__ = [
+    "EvalRequest",
+    "EvaluationEngine",
+    "StatsCache",
+    "evaluation_key",
+    "fingerprint_config",
+]

@@ -1,0 +1,85 @@
+"""The content-addressed simulation-stats cache (LRU-bounded).
+
+Keys are produced by :func:`repro.engine.evaluation.evaluation_key`;
+values are :class:`~repro.stonne.stats.SimulationStats`.  The cache
+stores and returns independent copies, so neither the producer nor any
+consumer can mutate a cached record (several controllers rename
+``stats.layer_name`` in place, and reports attach energy records).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.stonne.stats import SimulationStats
+
+#: Default maximum number of cached records.  A record is a few hundred
+#: bytes, so the default bound stays in the low tens of megabytes.
+DEFAULT_MAX_ENTRIES = 65536
+
+
+class StatsCache:
+    """Thread-safe LRU cache of simulation statistics.
+
+    Args:
+        max_entries: LRU bound; the least recently used record is evicted
+            once the cache grows past it.  Must be positive.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._records: "OrderedDict[Hashable, SimulationStats]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[SimulationStats]:
+        """The cached stats for ``key`` (an independent copy), or None.
+
+        Counts a hit or a miss and refreshes the entry's LRU position.
+        """
+        with self._lock:
+            record = self._records.get(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self._records.move_to_end(key)
+            self.hits += 1
+            return record.clone()
+
+    def put(self, key: Hashable, stats: SimulationStats) -> None:
+        """Store a copy of ``stats`` under ``key``, evicting LRU overflow."""
+        with self._lock:
+            self._records[key] = stats.clone()
+            self._records.move_to_end(key)
+            while len(self._records) > self.max_entries:
+                self._records.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._records
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every record and reset the counters."""
+        with self._lock:
+            self._records.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def counters(self) -> Tuple[int, int]:
+        """(hits, misses) as a snapshot tuple."""
+        return self.hits, self.misses

@@ -1,0 +1,277 @@
+"""The evaluation engine: registry dispatch + memoization + batching.
+
+See the package docstring (:mod:`repro.engine`) for the architecture
+overview.  The key design points:
+
+* **Content-addressed keys.**  :func:`evaluation_key` fingerprints the
+  *structure* of the evaluation — layer fields (name excluded), mapping
+  tiles, and a precomputed digest of (SimulatorConfig, CycleModelParams)
+  — so identical work is recognized across layers, sessions and tuner
+  runs.  The config/params digest is computed once per engine, keeping
+  the per-evaluation key a cheap tuple of scalars.
+* **Copy-on-hit.**  Cache hits return an independent
+  :class:`~repro.stonne.stats.SimulationStats` with ``layer_name``
+  rewritten to the requesting layer's name, so records stay attributable
+  even when they were produced by a different layer of the same shape.
+* **Thread-pooled batching.**  ``evaluate_many`` fans requests out over
+  a thread pool; each worker thread lazily builds its own controller
+  (controllers keep internal tallies, e.g. the accumulation buffer's
+  write counters, which must not race).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, fields
+from typing import Hashable, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.stonne.controller import AcceleratorController, make_controller
+from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+from repro.stonne.stats import SimulationStats
+
+from repro.engine.cache import StatsCache
+
+Layer = Union[ConvLayer, FcLayer, GemmLayer]
+Mapping = Union[ConvMapping, FcMapping]
+
+
+def fingerprint_config(
+    config, params: CycleModelParams, controller_cls: Optional[type] = None
+) -> str:
+    """Digest of a (SimulatorConfig, CycleModelParams[, controller]) triple.
+
+    Canonical JSON over sorted keys, hashed; any object with ``to_dict``
+    (or plain attributes) works, so mock configs fingerprint too.  The
+    controller class is part of the digest so hot-swapped registrations
+    (same ``controller_type``, different model) never share cache entries.
+    """
+    if hasattr(config, "to_dict"):
+        config_dict = config.to_dict()
+    else:  # mock / duck-typed configs
+        config_dict = {
+            k: str(v) for k, v in vars(config).items() if not k.startswith("_")
+        }
+    payload = json.dumps(
+        {
+            "config": config_dict,
+            "params": asdict(params),
+            "controller": (
+                f"{controller_cls.__module__}.{controller_cls.__qualname__}"
+                if controller_cls is not None
+                else None
+            ),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _layer_key(layer: Layer) -> Tuple:
+    """Structural identity of a layer: every field except its name."""
+    return tuple(
+        getattr(layer, f.name) for f in fields(layer) if f.name != "name"
+    )
+
+
+def evaluation_key(
+    config_fingerprint: str, layer: Layer, mapping: Optional[Mapping]
+) -> Hashable:
+    """The cache key for simulating ``layer`` under ``mapping``."""
+    mapping_key = None if mapping is None else mapping.as_tuple()
+    return (
+        config_fingerprint,
+        type(layer).__name__,
+        _layer_key(layer),
+        type(mapping).__name__ if mapping is not None else None,
+        mapping_key,
+    )
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One unit of work for :meth:`EvaluationEngine.evaluate_many`."""
+
+    layer: Layer
+    mapping: Optional[Mapping] = None
+
+
+class EvaluationEngine:
+    """Cached, batched evaluation of one accelerator configuration.
+
+    Args:
+        config: Hardware configuration; resolved through the controller
+            registry.
+        params: Cycle-model calibration constants.
+        cache: A shared :class:`StatsCache`; a private one is created
+            when omitted.  Sharing a cache across engines is safe — the
+            config/params fingerprint is part of every key.
+        cache_enabled: When False every evaluation simulates (the cache
+            is neither consulted nor populated); counters still track.
+        functional: When True every *simulation* also executes the exact
+            datapath (im2col GEMM) with synthetic tensors, reproducing
+            real STONNE's cost profile where the exact objective requires
+            a full simulation.  Statistics are identical either way.
+        max_workers: Default thread-pool width for :meth:`evaluate_many`.
+    """
+
+    def __init__(
+        self,
+        config,
+        params: CycleModelParams = DEFAULT_PARAMS,
+        cache: Optional[StatsCache] = None,
+        cache_enabled: bool = True,
+        functional: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.params = params
+        self.cache = cache if cache is not None else StatsCache()
+        self.cache_enabled = cache_enabled
+        self.functional = functional
+        self.max_workers = max_workers
+        self.controller: AcceleratorController = make_controller(config, params)
+        self.num_evaluations = 0
+        self.num_simulations = 0
+        self._fingerprint = fingerprint_config(
+            config, params, type(self.controller)
+        )
+        self._counter_lock = threading.Lock()
+        self._thread_local = threading.local()
+
+    # ------------------------------------------------------------------
+    @property
+    def requires_mapping(self) -> bool:
+        """Whether the configured architecture consumes dataflow mappings."""
+        return self.controller.requires_mapping
+
+    @property
+    def fingerprint(self) -> str:
+        """Digest identifying this engine's (config, params) pair."""
+        return self._fingerprint
+
+    def _local_controller(self) -> AcceleratorController:
+        """A per-thread controller (cycle-model tallies must not race).
+
+        Instantiates the class resolved at engine construction rather than
+        re-querying the registry, so a later registry hot-swap cannot make
+        worker threads disagree with :attr:`controller` or the fingerprint.
+        """
+        controller = getattr(self._thread_local, "controller", None)
+        if controller is None:
+            controller = type(self.controller)(self.config, self.params)
+            self._thread_local.controller = controller
+        return controller
+
+    # ------------------------------------------------------------------
+    def _run_functional(self, layer: Layer) -> None:
+        """Execute the exact datapath, the expensive part of a real
+        STONNE run (outputs are discarded; they never affect stats)."""
+        from repro.stonne.simulator import _conv_via_gemm
+
+        if isinstance(layer, ConvLayer):
+            data = np.ones((layer.N, layer.C, layer.H, layer.W))
+            weights = np.ones((layer.K, layer.C // layer.G, layer.R, layer.S))
+            _conv_via_gemm(data, weights, layer)
+        elif isinstance(layer, FcLayer):
+            data = np.ones((layer.batch, layer.in_features))
+            weights = np.ones((layer.out_features, layer.in_features))
+            data @ weights.T
+        else:
+            np.ones((layer.M, layer.K)) @ np.ones((layer.K, layer.N))
+
+    def _simulate(self, layer: Layer, mapping: Optional[Mapping]) -> SimulationStats:
+        controller = self._local_controller()
+        if isinstance(layer, ConvLayer):
+            stats = controller.run_conv(layer, mapping)
+        elif isinstance(layer, FcLayer):
+            stats = controller.run_fc(layer, mapping)
+        else:
+            stats = controller.run_gemm(layer)
+        if self.functional:
+            self._run_functional(layer)
+        return stats
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, layer: Layer, mapping: Optional[Mapping] = None
+    ) -> SimulationStats:
+        """Stats for simulating ``layer`` (cache-first, then simulate)."""
+        if not isinstance(layer, (ConvLayer, FcLayer, GemmLayer)):
+            raise SimulationError(
+                f"EvaluationEngine expects ConvLayer/FcLayer/GemmLayer, "
+                f"got {type(layer).__name__}"
+            )
+        with self._counter_lock:
+            self.num_evaluations += 1
+        if not self.cache_enabled:
+            stats = self._simulate(layer, mapping)
+            with self._counter_lock:
+                self.num_simulations += 1
+            return stats
+
+        key = evaluation_key(self._fingerprint, layer, mapping)
+        cached = self.cache.get(key)
+        if cached is not None:
+            # get() already returned a private copy; just re-attribute it.
+            cached.layer_name = layer.name
+            return cached
+        stats = self._simulate(layer, mapping)
+        with self._counter_lock:
+            self.num_simulations += 1
+        self.cache.put(key, stats)
+        return stats
+
+    def evaluate_request(self, request: EvalRequest) -> SimulationStats:
+        return self.evaluate(request.layer, request.mapping)
+
+    def evaluate_many(
+        self,
+        requests: Iterable[Union[EvalRequest, Layer]],
+        max_workers: Optional[int] = None,
+    ) -> List[SimulationStats]:
+        """Evaluate a batch, preserving order.
+
+        Bare layers are accepted as shorthand for mapping-less requests.
+        With ``max_workers`` (or the engine default) above 1 the batch
+        fans out over a thread pool; otherwise it runs inline.
+        """
+        normalized: List[EvalRequest] = [
+            r if isinstance(r, EvalRequest) else EvalRequest(layer=r)
+            for r in requests
+        ]
+        workers = max_workers if max_workers is not None else self.max_workers
+        if not normalized:
+            return []
+        if workers is None or workers <= 1 or len(normalized) == 1:
+            return [self.evaluate_request(r) for r in normalized]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.evaluate_request, normalized))
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
+
+    def counters(self) -> dict:
+        """Snapshot of the engine's bookkeeping, for reports/benchmarks."""
+        return {
+            "num_evaluations": self.num_evaluations,
+            "num_simulations": self.num_simulations,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_size": len(self.cache),
+            "cache_hit_rate": self.cache.hit_rate,
+        }

@@ -20,6 +20,14 @@ from repro.stonne.config import (
     sigma_config,
     tpu_config,
 )
+from repro.stonne.controller import (
+    AcceleratorController,
+    controller_class,
+    make_controller,
+    register_controller,
+    registered_controller_types,
+    unregister_controller,
+)
 from repro.stonne.magma import MagmaController
 from repro.stonne.energy import (
     DEFAULT_ENERGY_TABLE,
@@ -44,7 +52,13 @@ from repro.stonne.stats import SimulationStats, TrafficBreakdown, combine_stats
 from repro.stonne.tpu import TpuController
 
 __all__ = [
+    "AcceleratorController",
     "BitmapTensor",
+    "controller_class",
+    "make_controller",
+    "register_controller",
+    "registered_controller_types",
+    "unregister_controller",
     "DEFAULT_ENERGY_TABLE",
     "EnergyBreakdown",
     "EnergyTable",

@@ -1,0 +1,184 @@
+"""The accelerator controller abstraction and its registry.
+
+Every simulated architecture implements :class:`AcceleratorController` —
+a uniform ``run_conv`` / ``run_fc`` / ``run_gemm`` /
+``estimate_conv_psums`` / ``estimate_fc_psums`` / ``supports`` surface —
+and registers itself under its :class:`~repro.stonne.config.ControllerType`
+with :func:`register_controller`.  Dispatch sites (the :class:`Stonne`
+facade, the Bifrost API and runners, the tuner tasks) resolve a config to
+its controller with a single :func:`make_controller` call instead of
+duplicated ``if controller_type is ...`` chains, so adding an
+architecture is one registration, not four edited call sites.
+
+The registry is keyed by the controller type's *string value*, which lets
+tests (and future extensions) register controllers for types that are not
+members of the :class:`ControllerType` enum yet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, ClassVar, Dict, FrozenSet, List, Optional, Type, Union
+
+from repro.errors import ConfigError, UnsupportedLayerError
+from repro.stonne.config import ControllerType
+from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
+from repro.stonne.stats import SimulationStats
+
+#: Registry keys accept the enum or its raw string value.
+ControllerKey = Union[ControllerType, str]
+
+
+def _key(controller_type: ControllerKey) -> str:
+    return str(getattr(controller_type, "value", controller_type))
+
+
+class AcceleratorController:
+    """Uniform surface over the architecture-specific cycle models.
+
+    Subclasses implement the ``run_*`` methods for the workloads they
+    support and advertise their capabilities through class attributes:
+
+    Attributes:
+        workloads: Workload kinds (``"conv"``/``"fc"``/``"gemm"``) the
+            architecture executes; :meth:`supports` checks membership.
+        requires_mapping: True when the architecture consumes a
+            user/tuner-provided dataflow mapping (MAERI).  Rigid or
+            self-orchestrating fabrics (SIGMA, MAGMA, TPU) ignore
+            mappings — their controllers generate the dataflow.
+        consumes_sparsity: True when the architecture exploits a
+            configured weight-sparsity ratio (SIGMA, MAGMA).
+    """
+
+    workloads: ClassVar[FrozenSet[str]] = frozenset({"conv", "fc", "gemm"})
+    requires_mapping: ClassVar[bool] = False
+    consumes_sparsity: ClassVar[bool] = False
+
+    @classmethod
+    def supports(cls, workload: str) -> bool:
+        """True when this architecture can execute ``workload``."""
+        return workload in cls.workloads
+
+    # ------------------------------------------------------------------
+    # workload execution; subclasses override what they support
+    # ------------------------------------------------------------------
+    def run_conv(
+        self, layer: ConvLayer, mapping: Optional[ConvMapping] = None
+    ) -> SimulationStats:
+        raise UnsupportedLayerError(
+            f"{type(self).__name__} does not execute conv2d workloads"
+        )
+
+    def run_fc(
+        self, layer: FcLayer, mapping: Optional[FcMapping] = None
+    ) -> SimulationStats:
+        raise UnsupportedLayerError(
+            f"{type(self).__name__} does not execute dense workloads"
+        )
+
+    def run_gemm(self, gemm: GemmLayer) -> SimulationStats:
+        raise UnsupportedLayerError(
+            "raw GEMM workloads require SIGMA, MAGMA or TPU; "
+            "MAERI runs conv2d/dense"
+        )
+
+    # ------------------------------------------------------------------
+    # psum estimation (the cheap tuning proxy of §VII-B)
+    # ------------------------------------------------------------------
+    def estimate_conv_psums(
+        self, layer: ConvLayer, mapping: Optional[ConvMapping] = None
+    ) -> int:
+        """Psum count for a conv layer; the default runs the cycle model."""
+        return self.run_conv(layer, mapping).psums
+
+    def estimate_fc_psums(
+        self, layer: FcLayer, mapping: Optional[FcMapping] = None
+    ) -> int:
+        """Psum count for a dense layer; the default runs the cycle model."""
+        return self.run_fc(layer, mapping).psums
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[AcceleratorController]] = {}
+
+
+def register_controller(
+    controller_type: ControllerKey,
+) -> Callable[[Type[AcceleratorController]], Type[AcceleratorController]]:
+    """Class decorator registering a controller for ``controller_type``."""
+    key = _key(controller_type)
+
+    def decorator(cls: Type[AcceleratorController]) -> Type[AcceleratorController]:
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise ConfigError(
+                f"controller type {key!r} is already registered to "
+                f"{existing.__name__}; unregister it first"
+            )
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_controller(controller_type: ControllerKey) -> None:
+    """Remove a registration (tests and hot-swapping extensions)."""
+    _REGISTRY.pop(_key(controller_type), None)
+
+
+def _ensure_builtin_controllers() -> None:
+    """Re-register the built-in controllers for any vacant type.
+
+    Idempotent and lazy (avoids import cycles).  Registering directly —
+    rather than relying on first-import side effects — means a built-in
+    that was :func:`unregister_controller`'d (e.g. hot-swapped by a test)
+    comes back on the next lookup instead of being lost for the process.
+    ``setdefault`` never clobbers a live replacement registration.
+    """
+    from repro.stonne.maeri import MaeriController
+    from repro.stonne.magma import MagmaController
+    from repro.stonne.sigma import SigmaController
+    from repro.stonne.tpu import TpuController
+
+    builtins = {
+        ControllerType.MAERI_DENSE_WORKLOAD: MaeriController,
+        ControllerType.SIGMA_SPARSE_GEMM: SigmaController,
+        ControllerType.MAGMA_SPARSE_DENSE: MagmaController,
+        ControllerType.TPU_OS_DENSE: TpuController,
+    }
+    for controller_type, cls in builtins.items():
+        _REGISTRY.setdefault(_key(controller_type), cls)
+
+
+def controller_class(controller_type: ControllerKey) -> Type[AcceleratorController]:
+    """The registered controller class for ``controller_type``."""
+    key = _key(controller_type)
+    if key not in _REGISTRY:
+        _ensure_builtin_controllers()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigError(
+            f"no controller registered for {key!r}; "
+            f"known types: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def make_controller(
+    config, params: CycleModelParams = DEFAULT_PARAMS
+) -> AcceleratorController:
+    """Instantiate the controller for ``config.controller_type``.
+
+    ``config`` only needs a ``controller_type`` attribute plus whatever
+    the resolved controller's constructor reads, so mock configs work.
+    """
+    return controller_class(config.controller_type)(config, params)
+
+
+def registered_controller_types() -> List[str]:
+    """Sorted registry keys (string values), built-ins included."""
+    _ensure_builtin_controllers()
+    return sorted(_REGISTRY)

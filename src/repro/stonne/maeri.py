@@ -28,10 +28,11 @@ deterministic function of (layer, config, mapping) exactly like STONNE.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import ConfigError
 from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.controller import AcceleratorController, register_controller
 from repro.stonne.distribution import DistributionNetwork
 from repro.stonne.layer import ConvLayer, FcLayer, ceil_div
 from repro.stonne.mapping import ConvMapping, FcMapping
@@ -52,8 +53,12 @@ class _IterationProfile:
     macs: int
 
 
-class MaeriController:
+@register_controller(ControllerType.MAERI_DENSE_WORKLOAD)
+class MaeriController(AcceleratorController):
     """Simulates conv2d and dense workloads on a MAERI configuration."""
+
+    workloads = frozenset({"conv", "fc"})
+    requires_mapping = True
 
     def __init__(
         self,
@@ -207,8 +212,15 @@ class MaeriController:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def run_conv(self, layer: ConvLayer, mapping: ConvMapping) -> SimulationStats:
-        """Simulate a conv2d layer under ``mapping``; returns its stats."""
+    def run_conv(
+        self, layer: ConvLayer, mapping: Optional[ConvMapping] = None
+    ) -> SimulationStats:
+        """Simulate a conv2d layer under ``mapping``; returns its stats.
+
+        Without a mapping the basic all-ones default is used, matching
+        Bifrost's fallback behaviour.
+        """
+        mapping = mapping or ConvMapping.basic()
         mapping.validate_for(layer, self.config.ms_size)
         profile = self._conv_profile(layer, mapping)
         return self._simulate(
@@ -220,8 +232,11 @@ class MaeriController:
             psums=self.conv_psums(layer, mapping),
         )
 
-    def run_fc(self, layer: FcLayer, mapping: FcMapping) -> SimulationStats:
+    def run_fc(
+        self, layer: FcLayer, mapping: Optional[FcMapping] = None
+    ) -> SimulationStats:
         """Simulate a dense layer under ``mapping``; returns its stats."""
+        mapping = mapping or FcMapping.basic()
         mapping.validate_for(layer, self.config.ms_size)
         profile = self._fc_profile(layer, mapping)
         return self._simulate(
@@ -233,16 +248,22 @@ class MaeriController:
             psums=self.fc_psums(layer, mapping),
         )
 
-    def estimate_conv_psums(self, layer: ConvLayer, mapping: ConvMapping) -> int:
+    def estimate_conv_psums(
+        self, layer: ConvLayer, mapping: Optional[ConvMapping] = None
+    ) -> int:
         """Fast psum estimate without running the cycle model (§VII-B).
 
         STONNE computes the psum count "in less than a second" because no
         execution is needed; here it is a closed form.
         """
+        mapping = mapping or ConvMapping.basic()
         mapping.validate_for(layer, self.config.ms_size)
         return self.conv_psums(layer, mapping)
 
-    def estimate_fc_psums(self, layer: FcLayer, mapping: FcMapping) -> int:
+    def estimate_fc_psums(
+        self, layer: FcLayer, mapping: Optional[FcMapping] = None
+    ) -> int:
         """Fast psum estimate for a dense layer (no cycle simulation)."""
+        mapping = mapping or FcMapping.basic()
         mapping.validate_for(layer, self.config.ms_size)
         return self.fc_psums(layer, mapping)

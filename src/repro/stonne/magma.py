@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.controller import AcceleratorController, register_controller
 from repro.stonne.distribution import DistributionNetwork
 from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer, ceil_div
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
@@ -36,8 +37,11 @@ from repro.stonne.stats import SimulationStats, TrafficBreakdown
 GATHER_CYCLES_PER_FOLD = 1
 
 
-class MagmaController:
+@register_controller(ControllerType.MAGMA_SPARSE_DENSE)
+class MagmaController(AcceleratorController):
     """Simulates sparse-dense GEMM workloads on a MAGMA-style array."""
+
+    consumes_sparsity = True
 
     def __init__(
         self,
@@ -126,13 +130,13 @@ class MagmaController:
             },
         )
 
-    def run_fc(self, layer: FcLayer) -> SimulationStats:
-        """Dense layer with sparse weights: the natural MAGMA workload."""
+    def run_fc(self, layer: FcLayer, mapping=None) -> SimulationStats:
+        """Dense layer with sparse weights (``mapping`` ignored)."""
         stats = self.run_gemm(layer.as_gemm())
         stats.layer_name = layer.name
         return stats
 
-    def run_conv(self, layer: ConvLayer) -> SimulationStats:
+    def run_conv(self, layer: ConvLayer, mapping=None) -> SimulationStats:
         """Convolution via im2col, sparse filters x dense input matrix."""
         stats = self.run_gemm(layer.as_gemm())
         stats.layer_name = layer.name

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.controller import AcceleratorController, register_controller
 from repro.stonne.distribution import DistributionNetwork
 from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer, ceil_div
 from repro.stonne.multiplier import LinearMultiplierNetwork
@@ -49,8 +50,11 @@ from repro.stonne.stats import SimulationStats, TrafficBreakdown
 DENSE_ROUTING_LOSS = 0.18
 
 
-class SigmaController:
+@register_controller(ControllerType.SIGMA_SPARSE_GEMM)
+class SigmaController(AcceleratorController):
     """Simulates GEMM workloads (and im2col-lowered conv/dense) on SIGMA."""
+
+    consumes_sparsity = True
 
     def __init__(
         self,
@@ -140,8 +144,11 @@ class SigmaController:
             },
         )
 
-    def run_conv(self, layer: ConvLayer) -> SimulationStats:
+    def run_conv(self, layer: ConvLayer, mapping=None) -> SimulationStats:
         """Convolution via the GEMM-convolution primitive (§V-B2).
+
+        ``mapping`` is accepted for surface uniformity and ignored: the
+        memory controller tiles the matrix automatically (§V-A).
 
         SIGMA has no native conv support; Bifrost lowers the layer with
         im2col and multiplies ``weight x data`` (NCHW) — the input matrix
@@ -152,8 +159,8 @@ class SigmaController:
         stats.layer_name = layer.name
         return stats
 
-    def run_fc(self, layer: FcLayer) -> SimulationStats:
-        """Dense layer as a native sparse GEMM."""
+    def run_fc(self, layer: FcLayer, mapping=None) -> SimulationStats:
+        """Dense layer as a native sparse GEMM (``mapping`` ignored)."""
         stats = self.run_gemm(layer.as_gemm())
         stats.layer_name = layer.name
         return stats

@@ -1,8 +1,11 @@
-"""The STONNE facade: one entry point over the three controllers.
+"""The STONNE facade: one entry point over the registered controllers.
 
 :class:`Stonne` mirrors how Bifrost drives STONNE (§V): create an
 instance per layer execution, configure it with an architecture and a
-mapping, load the layer, run, and read back outputs and statistics.
+mapping, load the layer, run, and read back outputs and statistics.  The
+architecture-specific cycle model is resolved through the controller
+registry (:mod:`repro.stonne.controller`), so the facade contains no
+per-architecture branching.
 
 The functional datapath is mapping-invariant — a mapping changes *when*
 each MAC happens, never its value — so outputs are produced by an exact
@@ -15,20 +18,18 @@ Bifrost performs through TVM.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConfigError, SimulationError, UnsupportedLayerError
-from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.errors import SimulationError, UnsupportedLayerError
+from repro.stonne.config import SimulatorConfig
+from repro.stonne.controller import AcceleratorController, make_controller
 from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer
-from repro.stonne.magma import MagmaController
 from repro.stonne.mapping import ConvMapping, FcMapping
-from repro.stonne.maeri import MaeriController
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
-from repro.stonne.sigma import SigmaController
 from repro.stonne.stats import SimulationStats
-from repro.stonne.tpu import TpuController
+from repro.topi.conv2d import im2col_nchw
 
 
 @dataclass
@@ -40,33 +41,23 @@ class SimulationResult:
 
 
 def _im2col(data: np.ndarray, layer: ConvLayer) -> np.ndarray:
-    """Lower an NCHW input tensor to the (C*R*S) x (P*Q) im2col matrix."""
+    """Lower an NCHW input batch to its (N, C*R*S, P*Q) im2col matrices.
+
+    Shape validation against the layer descriptor, then the canonical
+    (vectorized) :func:`repro.topi.conv2d.im2col_nchw` unfold.
+    """
     n, c, h, w = data.shape
-    if (n, c, h, w) != (layer.N, layer.C, layer.H, layer.W):
+    if (c, h, w) != (layer.C, layer.H, layer.W):
         raise SimulationError(
             f"input shape {data.shape} does not match layer "
-            f"({layer.N},{layer.C},{layer.H},{layer.W})"
+            f"(N,{layer.C},{layer.H},{layer.W})"
         )
-    padded = np.pad(
+    return im2col_nchw(
         data,
-        ((0, 0), (0, 0), (layer.pad_h, layer.pad_h), (layer.pad_w, layer.pad_w)),
-        mode="constant",
+        (layer.R, layer.S),
+        strides=(layer.stride_h, layer.stride_w),
+        padding=(layer.pad_h, layer.pad_w),
     )
-    p, q = layer.P, layer.Q
-    cols = np.empty((c * layer.R * layer.S, p * q), dtype=padded.dtype)
-    idx = 0
-    for ch in range(c):
-        for r in range(layer.R):
-            for s in range(layer.S):
-                patch = padded[
-                    0,
-                    ch,
-                    r : r + p * layer.stride_h : layer.stride_h,
-                    s : s + q * layer.stride_w : layer.stride_w,
-                ]
-                cols[idx] = patch.reshape(-1)
-                idx += 1
-    return cols
 
 
 def _conv_via_gemm(
@@ -75,7 +66,9 @@ def _conv_via_gemm(
     """Exact NCHW convolution through the im2col GEMM primitive.
 
     ``weights`` is KCRS.  Grouped convolutions slice channel blocks and
-    run one GEMM per group, the same decomposition STONNE uses.
+    run one GEMM per group, the same decomposition STONNE uses.  Every
+    batch element is computed (the GEMM broadcasts over the batch axis),
+    even though the simulated architectures only accept ``N == 1``.
     """
     k, c_per_g, r, s = weights.shape
     if (k, c_per_g, r, s) != (layer.K, layer.C // layer.G, layer.R, layer.S):
@@ -83,8 +76,9 @@ def _conv_via_gemm(
             f"weight shape {weights.shape} does not match layer "
             f"({layer.K},{layer.C // layer.G},{layer.R},{layer.S})"
         )
+    n = data.shape[0]
     p, q = layer.P, layer.Q
-    out = np.empty((1, layer.K, p, q), dtype=np.result_type(data, weights))
+    out = np.empty((n, layer.K, p, q), dtype=np.result_type(data, weights))
     k_per_g = layer.K // layer.G
     for g in range(layer.G):
         sub_layer = ConvLayer(
@@ -104,7 +98,9 @@ def _conv_via_gemm(
             data[:, g * c_per_g : (g + 1) * c_per_g], sub_layer
         )
         w_mat = weights[g * k_per_g : (g + 1) * k_per_g].reshape(k_per_g, -1)
-        out[0, g * k_per_g : (g + 1) * k_per_g] = (w_mat @ cols).reshape(k_per_g, p, q)
+        out[:, g * k_per_g : (g + 1) * k_per_g] = (w_mat @ cols).reshape(
+            n, k_per_g, p, q
+        )
     return out
 
 
@@ -112,7 +108,8 @@ class Stonne:
     """A configured simulator instance (one per layer execution, like STONNE).
 
     Args:
-        config: Validated hardware configuration.
+        config: Validated hardware configuration; its ``controller_type``
+            is resolved through the controller registry.
         params: Cycle-model calibration constants (tests/ablations only).
     """
 
@@ -123,18 +120,7 @@ class Stonne:
     ) -> None:
         self.config = config
         self.params = params
-        self._maeri: Optional[MaeriController] = None
-        self._sigma: Optional[SigmaController] = None
-        self._tpu: Optional[TpuController] = None
-        self._magma: Optional[MagmaController] = None
-        if config.controller_type is ControllerType.MAERI_DENSE_WORKLOAD:
-            self._maeri = MaeriController(config, params)
-        elif config.controller_type is ControllerType.SIGMA_SPARSE_GEMM:
-            self._sigma = SigmaController(config, params)
-        elif config.controller_type is ControllerType.MAGMA_SPARSE_DENSE:
-            self._magma = MagmaController(config, params)
-        else:
-            self._tpu = TpuController(config, params)
+        self.controller: AcceleratorController = make_controller(config, params)
 
     # ------------------------------------------------------------------
     def run_conv2d(
@@ -146,26 +132,25 @@ class Stonne:
     ) -> SimulationResult:
         """Simulate a conv2d layer; optionally compute its output.
 
-        MAERI requires a ``mapping`` (falling back to the basic all-ones
-        mapping, like Bifrost's default); SIGMA and the TPU ignore it —
-        their dataflow is fixed or controller-generated.
+        Architectures that consume a ``mapping`` (MAERI) fall back to the
+        basic all-ones mapping, like Bifrost's default; the rest ignore
+        it — their dataflow is fixed or controller-generated.
         """
-        if self._maeri is not None:
-            stats = self._maeri.run_conv(layer, mapping or ConvMapping.basic())
-        elif self._sigma is not None:
-            stats = self._sigma.run_conv(layer)
-        elif self._magma is not None:
-            stats = self._magma.run_conv(layer)
-        else:
-            assert self._tpu is not None
-            stats = self._tpu.run_conv(layer)
+        stats = self.controller.run_conv(layer, mapping)
 
         output = None
         if data is not None:
             if weights is None:
                 raise SimulationError("conv2d needs weights when data is given")
+            data = np.asarray(data, dtype=np.float64)
+            if data.ndim != 4 or data.shape[0] != layer.N:
+                raise UnsupportedLayerError(
+                    f"conv2d input batch {data.shape} does not match the "
+                    f"simulated layer's N={layer.N}; STONNE runs one batch "
+                    "element per simulation — split the batch first"
+                )
             output = _conv_via_gemm(
-                np.asarray(data, dtype=np.float64),
+                data,
                 np.asarray(weights, dtype=np.float64),
                 layer,
             )
@@ -183,15 +168,7 @@ class Stonne:
         ``data`` is (batch, in_features); ``weights`` is
         (out_features, in_features), PyTorch's ``nn.Linear`` convention.
         """
-        if self._maeri is not None:
-            stats = self._maeri.run_fc(layer, mapping or FcMapping.basic())
-        elif self._sigma is not None:
-            stats = self._sigma.run_fc(layer)
-        elif self._magma is not None:
-            stats = self._magma.run_fc(layer)
-        else:
-            assert self._tpu is not None
-            stats = self._tpu.run_fc(layer)
+        stats = self.controller.run_fc(layer, mapping)
 
         output = None
         if data is not None:
@@ -213,14 +190,5 @@ class Stonne:
         return SimulationResult(output=output, stats=stats)
 
     def run_gemm(self, gemm: GemmLayer) -> SimulationResult:
-        """Simulate a raw GEMM (SIGMA, MAGMA and TPU only)."""
-        if self._sigma is not None:
-            return SimulationResult(output=None, stats=self._sigma.run_gemm(gemm))
-        if self._magma is not None:
-            return SimulationResult(output=None, stats=self._magma.run_gemm(gemm))
-        if self._tpu is not None:
-            return SimulationResult(output=None, stats=self._tpu.run_gemm(gemm))
-        raise UnsupportedLayerError(
-            "raw GEMM workloads require SIGMA, MAGMA or TPU; "
-            "MAERI runs conv2d/dense"
-        )
+        """Simulate a raw GEMM (architectures that support the workload)."""
+        return SimulationResult(output=None, stats=self.controller.run_gemm(gemm))

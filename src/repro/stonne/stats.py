@@ -23,7 +23,7 @@ STONNE's psum counter is workload-specific and we mirror that asymmetry
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 
@@ -100,6 +100,21 @@ class SimulationStats:
         if self.cycles <= 0:
             return float("inf")
         return baseline.cycles / self.cycles
+
+    def clone(self, layer_name: Optional[str] = None) -> "SimulationStats":
+        """An independent copy (nested records included), optionally renamed.
+
+        Cheaper than ``copy.deepcopy`` by an order of magnitude, which
+        matters on the engine cache's hit path.  Built on
+        :func:`dataclasses.replace` so fields added later are copied
+        without this method needing to know about them.
+        """
+        return replace(
+            self,
+            layer_name=self.layer_name if layer_name is None else layer_name,
+            traffic=replace(self.traffic),
+            phase_cycles=dict(self.phase_cycles),
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -17,13 +17,15 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 from repro.stonne.config import ControllerType, SimulatorConfig
+from repro.stonne.controller import AcceleratorController, register_controller
 from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer, ceil_div
 from repro.stonne.multiplier import OSMeshNetwork
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
 from repro.stonne.stats import SimulationStats, TrafficBreakdown
 
 
-class TpuController:
+@register_controller(ControllerType.TPU_OS_DENSE)
+class TpuController(AcceleratorController):
     """Simulates GEMM workloads (and lowered conv/dense) on the TPU mesh."""
 
     def __init__(
@@ -75,13 +77,16 @@ class TpuController:
             phase_cycles={"tiles": tiles * per_tile},
         )
 
-    def run_conv(self, layer: ConvLayer) -> SimulationStats:
-        """Convolution lowered to GEMM (im2col), as §V-B3 describes."""
+    def run_conv(self, layer: ConvLayer, mapping=None) -> SimulationStats:
+        """Convolution lowered to GEMM (im2col), as §V-B3 describes.
+
+        ``mapping`` is accepted for surface uniformity and ignored: the
+        TPU's dataflow is fixed (§V-A)."""
         stats = self.run_gemm(layer.as_gemm())
         stats.layer_name = layer.name
         return stats
 
-    def run_fc(self, layer: FcLayer) -> SimulationStats:
+    def run_fc(self, layer: FcLayer, mapping=None) -> SimulationStats:
         stats = self.run_gemm(layer.as_gemm())
         stats.layer_name = layer.name
         return stats

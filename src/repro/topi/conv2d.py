@@ -118,20 +118,17 @@ def im2col_nchw(
     padded = np.pad(
         data, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)), mode="constant"
     )
-    cols = np.empty((n, c * r * s, p * q), dtype=padded.dtype)
-    idx = 0
-    for ci in range(c):
-        for ri in range(r):
-            for si in range(s):
-                patch = padded[
-                    :,
-                    ci,
-                    ri * dil_h : ri * dil_h + p * stride_h : stride_h,
-                    si * dil_w : si * dil_w + q * stride_w : stride_w,
-                ]
-                cols[:, idx, :] = patch.reshape(n, -1)
-                idx += 1
-    return cols
+    # Vectorized unfold: sliding_window_view materializes no copies; the
+    # dilation/stride subsampling and one transpose+reshape produce the
+    # (ci, ri, si)-ordered rows for every batch element at once.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (eff_r, eff_s), axis=(2, 3)
+    )
+    strided = windows[:, :, ::stride_h, ::stride_w, ::dil_h, ::dil_w]
+    # (n, c, p, q, r, s) -> (n, c, r, s, p, q) -> (n, c*r*s, p*q)
+    return np.ascontiguousarray(strided.transpose(0, 1, 4, 5, 2, 3)).reshape(
+        n, c * r * s, p * q
+    )
 
 
 def conv2d_im2col_nchw(

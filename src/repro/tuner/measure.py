@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.engine import EvaluationEngine
 from repro.errors import MappingError, TuningError
 from repro.stonne.config import SimulatorConfig
 from repro.stonne.layer import ConvLayer, FcLayer
-from repro.stonne.maeri import MaeriController
 from repro.tuner.space import (
     Config,
     ConfigSpace,
@@ -58,13 +58,36 @@ class TuningTask:
     Subclasses implement :meth:`evaluate`.  Costs are minimized; invalid
     configs return :data:`INVALID_COST` so tuners can skip them without
     special-casing exceptions.
+
+    Tasks that route evaluations through an
+    :class:`~repro.engine.EvaluationEngine` are *cache-aware*:
+    :attr:`num_measurements` counts every :meth:`measure` call while
+    :attr:`num_simulations` counts only the evaluations that actually ran
+    a cycle-model simulation (cache misses), so benchmarks can report
+    real simulation savings.
     """
 
-    def __init__(self, space: ConfigSpace, objective: str) -> None:
+    def __init__(
+        self,
+        space: ConfigSpace,
+        objective: str,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> None:
         _check_objective(objective)
         self.space = space
         self.objective = objective
+        self.engine = engine
         self.num_measurements = 0
+        self._local_sims = 0
+        self._engine_sim_baseline = engine.num_simulations if engine else 0
+
+    @property
+    def num_simulations(self) -> int:
+        """Cycle-model simulations this task triggered (cache misses only
+        when an engine with caching is attached)."""
+        if self.engine is not None:
+            return self.engine.num_simulations - self._engine_sim_baseline
+        return self._local_sims
 
     def evaluate(self, config: Config) -> float:
         raise NotImplementedError
@@ -77,6 +100,8 @@ class TuningTask:
                                  objective=self.objective)
         try:
             cost = self.evaluate(config)
+            if self.engine is None:
+                self._local_sims += 1
         except MappingError:
             cost = INVALID_COST
         return MeasureResult(config=config, cost=cost, objective=self.objective)
@@ -92,19 +117,21 @@ class MaeriConvTask(TuningTask):
         objective: str = "psums",
         max_options_per_tile: int = 10,
         space: Optional[ConfigSpace] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         super().__init__(
             space or conv_mapping_space(layer, config.ms_size, max_options_per_tile),
             objective,
+            engine=engine or EvaluationEngine(config),
         )
         self.layer = layer
-        self.controller = MaeriController(config)
+        self.controller = self.engine.controller
 
     def evaluate(self, config: Config) -> float:
         mapping = config_to_conv_mapping(config)
         if self.objective == "psums":
             return float(self.controller.estimate_conv_psums(self.layer, mapping))
-        stats = self.controller.run_conv(self.layer, mapping)
+        stats = self.engine.evaluate(self.layer, mapping)
         if self.objective == "energy":
             from repro.stonne.energy import estimate_energy
 
@@ -124,16 +151,21 @@ class MaeriFcTask(TuningTask):
         config: SimulatorConfig,
         objective: str = "psums",
         space: Optional[ConfigSpace] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
-        super().__init__(space or fc_mapping_space(layer, config.ms_size), objective)
+        super().__init__(
+            space or fc_mapping_space(layer, config.ms_size),
+            objective,
+            engine=engine or EvaluationEngine(config),
+        )
         self.layer = layer
-        self.controller = MaeriController(config)
+        self.controller = self.engine.controller
 
     def evaluate(self, config: Config) -> float:
         mapping = config_to_fc_mapping(config)
         if self.objective == "psums":
             return float(self.controller.estimate_fc_psums(self.layer, mapping))
-        stats = self.controller.run_fc(self.layer, mapping)
+        stats = self.engine.evaluate(self.layer, mapping)
         if self.objective == "energy":
             from repro.stonne.energy import estimate_energy
 
