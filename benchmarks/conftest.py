@@ -12,11 +12,22 @@ evaluation (see DESIGN.md §4 for the index).  Each bench:
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Smoke mode (BENCH_SMOKE=1): shrink iteration counts and skip
+#: wall-clock assertion bands so CI can cheaply verify every benchmark
+#: still *runs* without paying for statistically meaningful timings.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def scaled(full: int, smoke: int) -> int:
+    """``full`` iterations normally, ``smoke`` under BENCH_SMOKE=1."""
+    return smoke if SMOKE else full
 
 
 @pytest.fixture(scope="session")

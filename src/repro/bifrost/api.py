@@ -26,13 +26,13 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.bifrost.mapping_config import MappingConfigurator
-from repro.engine import EvaluationEngine
+from repro.engine import EvaluationEngine, PersistentStatsCache
 from repro.errors import LayerError, SimulationError
 from repro.stonne.config import SimulatorConfig
 from repro.stonne.controller import controller_class
 from repro.stonne.layer import ConvLayer, FcLayer
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
-from repro.stonne.simulator import Stonne
+from repro.stonne.simulator import _conv_via_gemm
 from repro.stonne.sparsity import prune_to_sparsity
 from repro.stonne.stats import SimulationStats
 from repro.topi.layout import (
@@ -49,12 +49,28 @@ class StonneBifrostApi:
 
     One instance per Bifrost session; every offloaded layer appends its
     :class:`~repro.stonne.stats.SimulationStats` to :attr:`stats`.
+
+    Stats lookups route through the session's evaluation engine, so a
+    repeated shape in one graph skips the cycle model — the functional
+    datapath (the im2col GEMM that produces real outputs) still executes
+    for every call.
+
+    Args:
+        executor: Executor backend name ("serial"/"thread"/"process") or
+            instance for the session engine's batched evaluations.
+        cache_path: When set, the engine's stats cache is a
+            :class:`~repro.engine.PersistentStatsCache` spilling to this
+            JSONL file, so sessions resume warm across processes.
+        max_workers: Pool width for the engine's executor backend.
     """
 
     config: SimulatorConfig
     mappings: MappingConfigurator
     params: CycleModelParams = DEFAULT_PARAMS
     stats: List[SimulationStats] = field(default_factory=list)
+    executor: Optional[str] = None
+    cache_path: Optional[str] = None
+    max_workers: Optional[int] = None
     _layer_counter: Dict[str, int] = field(default_factory=dict)
     _engine: Optional[EvaluationEngine] = field(default=None, repr=False)
 
@@ -62,7 +78,18 @@ class StonneBifrostApi:
         # One engine per session, shared with the mapping configurator so
         # tuner simulations and run_layers populate the same stats cache.
         if self._engine is None:
-            self._engine = EvaluationEngine(self.config, self.params)
+            cache = (
+                PersistentStatsCache(self.cache_path)
+                if self.cache_path is not None
+                else None
+            )
+            self._engine = EvaluationEngine(
+                self.config,
+                self.params,
+                cache=cache,
+                executor=self.executor,
+                max_workers=self.max_workers,
+            )
         if self.mappings.engine is None:
             self.mappings.engine = self._engine
 
@@ -142,32 +169,30 @@ class StonneBifrostApi:
             rsck = np.ascontiguousarray(
                 np.asarray(weights, dtype=np.float64).transpose(2, 3, 1, 0)
             )
-            # Step iii-v: new simulator instance, configure, run.
+            # Steps iii-v: resolve the mapping, then the session engine
+            # serves the cycle model (cached for repeated shapes) while
+            # the exact datapath always executes to produce outputs.
             mapping = self.mappings.mapping_for(layer)
-            simulator = Stonne(self.config, self.params)
-            result = simulator.run_conv2d(
+            stats = self.engine.evaluate(layer, mapping)
+            raw = _conv_via_gemm(
+                nhwc_to_nchw(nhwc),               # functional path is NCHW
+                rsck_to_kcrs(rsck),
                 layer,
-                mapping=mapping,
-                data=nhwc_to_nchw(nhwc),          # functional path is NCHW
-                weights=rsck_to_kcrs(rsck),
             )
-            assert result.output is not None
             # Step vi: NPQK -> NKPQ back to the caller's layout.
             output = npqk_to_nkpq(
-                np.ascontiguousarray(result.output.transpose(0, 2, 3, 1))
+                np.ascontiguousarray(raw.transpose(0, 2, 3, 1))
             )
         else:
-            simulator = Stonne(self.config, self.params)
-            result = simulator.run_conv2d(
+            stats = self.engine.evaluate(layer)
+            output = _conv_via_gemm(
+                np.asarray(data, dtype=np.float64),
+                np.asarray(weights, dtype=np.float64),
                 layer,
-                data=np.asarray(data, dtype=np.float64),
-                weights=np.asarray(weights, dtype=np.float64),
             )
-            assert result.output is not None
-            output = result.output
 
         # Step vii: record the stats.
-        self.stats.append(result.stats)
+        self.stats.append(stats)
         return output
 
     def conv2d_nhwc(
@@ -210,6 +235,11 @@ class StonneBifrostApi:
             raise SimulationError(
                 f"STONNE supports batch 1 only, got batch {data.shape[0]}"
             )
+        if weights.shape[1] != data.shape[1]:
+            raise SimulationError(
+                f"dense weight shape {weights.shape} does not match input "
+                f"features {data.shape[1]}"
+            )
         layer = FcLayer(
             name=self._layer_name(layer_name),
             in_features=data.shape[1],
@@ -217,16 +247,17 @@ class StonneBifrostApi:
             batch=data.shape[0],
         )
         weights = self._maybe_prune(np.asarray(weights, dtype=np.float64))
-        simulator = Stonne(self.config, self.params)
         mapping = (
             self.mappings.mapping_for(layer)
             if self._controller_cls().requires_mapping
             else None
         )
-        result = simulator.run_dense(layer, mapping=mapping, data=data, weights=weights)
-        assert result.output is not None
-        self.stats.append(result.stats)
-        return result.output
+        # Cycle model through the session engine (cached for repeated
+        # shapes); the functional GEMM always executes.
+        stats = self.engine.evaluate(layer, mapping)
+        output = np.asarray(data, dtype=np.float64) @ weights.T
+        self.stats.append(stats)
+        return output
 
 
 # ----------------------------------------------------------------------

@@ -52,8 +52,18 @@ def make_session(
     params: CycleModelParams = DEFAULT_PARAMS,
     tuner_trials: int = 400,
     tuner_early_stopping: int = 120,
+    executor: Optional[str] = None,
+    cache_path: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> StonneBifrostApi:
-    """Build a Bifrost session: config + mapping configurator + stats."""
+    """Build a Bifrost session: config + mapping configurator + stats.
+
+    ``executor`` selects the session engine's backend
+    ("serial"/"thread"/"process") for batched evaluations — tuner
+    generations and :func:`run_layers` batches fan out through it.
+    ``cache_path`` spills the engine's stats cache to a JSONL file so a
+    later session (or a fleet of workers) starts warm.
+    """
     mappings = MappingConfigurator(
         config=config,
         strategy=MappingStrategy(mapping_strategy),
@@ -61,7 +71,14 @@ def make_session(
         tuner_trials=tuner_trials,
         tuner_early_stopping=tuner_early_stopping,
     )
-    return StonneBifrostApi(config=config, mappings=mappings, params=params)
+    return StonneBifrostApi(
+        config=config,
+        mappings=mappings,
+        params=params,
+        executor=executor,
+        cache_path=cache_path,
+        max_workers=max_workers,
+    )
 
 
 def _annotate_layer_names(graph: Graph) -> None:
@@ -75,21 +92,33 @@ def run_graph(
     graph: Graph,
     feeds: Dict[str, np.ndarray],
     session: StonneBifrostApi,
+    executor: Optional[str] = None,
 ) -> BifrostRunResult:
     """Execute ``graph`` with conv2d/dense offloaded to ``session``.
 
     The session is installed as the "stonne" target for the duration of
     the call and uninstalled afterwards, so parallel CPU-only execution
-    elsewhere is unaffected.
+    elsewhere is unaffected.  ``executor`` overrides the session
+    engine's backend for the call — batched work triggered during it
+    (e.g. mapping tuning under the TUNED strategy) fans out through the
+    named backend.
     """
+    engine = session.engine
+    previous_backend = engine.backend
+    if executor is not None:
+        # Resolved before any global state changes so an unknown backend
+        # name fails cleanly; cached on the engine, so repeated calls
+        # reuse one pool and engine.close() shuts it down.
+        engine.backend = engine._resolve_backend(executor, engine.max_workers)
     _annotate_layer_names(graph)
     session.reset_stats()
     install_session(session)
     try:
-        executor = GraphExecutor(graph, make_offload_policy("stonne"))
-        outputs = executor.run(feeds)
+        graph_executor = GraphExecutor(graph, make_offload_policy("stonne"))
+        outputs = graph_executor.run(feeds)
     finally:
         uninstall_session()
+        engine.backend = previous_backend
     return BifrostRunResult(outputs=outputs, layer_stats=list(session.stats))
 
 
@@ -115,20 +144,24 @@ def run_torch_stonne(
 def run_layers(
     layers,
     session: StonneBifrostApi,
+    executor: Optional[str] = None,
 ) -> List[SimulationStats]:
     """Simulate bare layer descriptors (no tensors), for benchmarking.
 
     Accepts :class:`~repro.stonne.layer.ConvLayer` /
     :class:`~repro.stonne.layer.FcLayer` descriptors and returns one
     stats record per layer, honouring the session's mapping strategy.
-    Evaluations route through the session's
-    :class:`~repro.engine.EvaluationEngine`, so repeated shapes are
-    served from the stats cache instead of re-simulated.
+    The whole batch is submitted to the session engine's
+    :meth:`~repro.engine.EvaluationEngine.evaluate_many` — repeated
+    shapes are served from the stats cache instead of re-simulated, and
+    ``executor`` overrides the engine's backend for this batch
+    ("serial"/"thread"/"process").
     """
+    from repro.engine import EvalRequest
     from repro.stonne.layer import ConvLayer, FcLayer
 
     engine = session.engine
-    results: List[SimulationStats] = []
+    requests: List[EvalRequest] = []
     for layer in layers:
         if not isinstance(layer, (ConvLayer, FcLayer)):
             raise TypeError(
@@ -137,6 +170,7 @@ def run_layers(
         mapping = (
             session.mappings.mapping_for(layer) if engine.requires_mapping else None
         )
-        results.append(engine.evaluate(layer, mapping))
+        requests.append(EvalRequest(layer=layer, mapping=mapping))
+    results = engine.evaluate_many(requests, executor=executor)
     session.stats.extend(results)
     return results

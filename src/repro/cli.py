@@ -9,6 +9,13 @@ Subcommands:
 * ``compare`` — default vs AutoTVM vs mRNA mappings for a zoo model's
   accelerated layers (the Figure 12 view).
 
+``run``/``tune``/``compare`` accept ``--executor
+{serial,thread,process}`` to pick the evaluation engine's executor
+backend (``process`` runs simulations truly in parallel across worker
+processes) and ``--cache-path FILE`` to persist the simulation-stats
+cache as JSONL — re-running against the same file starts warm and skips
+every already-measured configuration.
+
 Entry point: ``python -m repro.cli <subcommand> ...`` (argument lists are
 plain data, so the test suite drives :func:`main` directly).
 """
@@ -66,6 +73,23 @@ def _build_config(args):
     return config
 
 
+def _build_engine(config, args):
+    """An evaluation engine honouring the --executor/--cache-path flags."""
+    from repro.engine import EvaluationEngine, PersistentStatsCache
+
+    cache = (
+        PersistentStatsCache(args.cache_path)
+        if getattr(args, "cache_path", None)
+        else None
+    )
+    return EvaluationEngine(
+        config,
+        cache=cache,
+        executor=getattr(args, "executor", None),
+        max_workers=getattr(args, "max_workers", None),
+    )
+
+
 def _add_hw_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--arch", choices=ARCHITECTURES, default="maeri")
     parser.add_argument("--ms-size", type=int, default=128, dest="ms_size")
@@ -74,6 +98,34 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ms-rows", type=int, default=16, dest="ms_rows")
     parser.add_argument("--ms-cols", type=int, default=16, dest="ms_cols")
     parser.add_argument("--sparsity", type=int, default=0)
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    from repro.engine import registered_backends
+
+    parser.add_argument(
+        "--executor", choices=registered_backends(), default=None,
+        help="executor backend for batched evaluations: serial (inline), "
+             "thread (GIL-bound pool), or process (true parallel "
+             "simulation across worker processes)")
+    parser.add_argument(
+        "--cache-path", dest="cache_path", default=None, metavar="FILE",
+        help="spill the simulation-stats cache to this JSONL file; an "
+             "existing file warm-starts the run, so repeated sweeps "
+             "skip already-measured configurations")
+    parser.add_argument(
+        "--max-workers", type=int, default=None, dest="max_workers",
+        help="pool width for the thread/process executor backends")
+
+
+def _print_cache_report(engine, cache_path: Optional[str]) -> None:
+    """One-line hit/miss summary for runs using a persistent cache."""
+    if not cache_path:
+        return
+    counters = engine.counters()
+    print(f"stats cache: {counters['cache_hits']} hits / "
+          f"{counters['cache_misses']} misses "
+          f"({counters['cache_hit_rate']:.1%}) -> {cache_path}")
 
 
 def _cmd_features(args) -> int:
@@ -90,12 +142,20 @@ def _cmd_run(args) -> int:
 
     config = _build_config(args)
     strategy = args.mapping if args.arch == "maeri" else "default"
-    session = make_session(config, mapping_strategy=strategy)
+    session = make_session(
+        config,
+        mapping_strategy=strategy,
+        executor=args.executor,
+        cache_path=args.cache_path,
+        max_workers=args.max_workers,
+    )
     stats = run_layers(_zoo_layers(args.model), session)
     print(stats_table(stats))
     if args.energy:
         total = sum(attach_energy(s).energy for s in stats)
         print(f"total energy: {total:,.0f} MAC-units")
+    _print_cache_report(session.engine, args.cache_path)
+    session.engine.close()
     return 0
 
 
@@ -117,10 +177,13 @@ def _cmd_tune(args) -> int:
               f"choose from {sorted(layers)}", file=sys.stderr)
         return 2
     layer = layers[args.layer]
+    engine = _build_engine(config, args)
     if isinstance(layer, ConvLayer):
-        task = MaeriConvTask(layer, config, objective=args.objective)
+        task = MaeriConvTask(layer, config, objective=args.objective,
+                             engine=engine)
     else:
-        task = MaeriFcTask(layer, config, objective=args.objective)
+        task = MaeriFcTask(layer, config, objective=args.objective,
+                           engine=engine)
     tuners = {
         "grid": GridSearchTuner,
         "random": RandomTuner,
@@ -137,6 +200,8 @@ def _cmd_tune(args) -> int:
           f"{' (early stop)' if result.stopped_early else ''}")
     print(f"best mapping: {mapping.as_tuple()}")
     print(f"best {args.objective}: {result.best_cost:,.0f}")
+    _print_cache_report(engine, args.cache_path)
+    engine.close()
     if args.log:
         result.records.save_jsonl(args.log)
         print(f"tuning log written to {args.log}")
@@ -154,14 +219,15 @@ def _cmd_compare(args) -> int:
     config = _build_config(args)
     controller = MaeriController(config)
     mapper = MrnaMapper(config)
+    engine = _build_engine(config, args)
     rows: List[LayerComparison] = []
     for layer in _zoo_layers(args.model):
         is_conv = isinstance(layer, ConvLayer)
         if is_conv:
             task = MaeriConvTask(layer, config, objective="psums",
-                                 max_options_per_tile=4)
+                                 max_options_per_tile=4, engine=engine)
         else:
-            task = MaeriFcTask(layer, config, objective="psums")
+            task = MaeriFcTask(layer, config, objective="psums", engine=engine)
         tuned = task.best_mapping(
             GridSearchTuner(task).tune(n_trials=10 ** 9).best_config
         )
@@ -179,6 +245,8 @@ def _cmd_compare(args) -> int:
             )
         )
     print(comparison_table(rows, ["default", "AutoTVM", "mRNA"]))
+    _print_cache_report(engine, args.cache_path)
+    engine.close()
     return 0
 
 
@@ -193,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate a zoo model end to end")
     run.add_argument("model", choices=MODELS)
     _add_hw_args(run)
+    _add_engine_args(run)
     run.add_argument("--mapping", choices=("default", "tuned", "mrna"),
                      default="mrna")
     run.add_argument("--energy", action="store_true",
@@ -202,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("model", choices=MODELS)
     tune.add_argument("layer", help="layer name, e.g. conv3 or fc1")
     _add_hw_args(tune)
+    _add_engine_args(tune)
     tune.add_argument("--objective", choices=("cycles", "psums", "energy"),
                       default="psums")
     tune.add_argument("--tuner", choices=("grid", "random", "ga", "xgb"),
@@ -217,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("model", choices=MODELS)
     _add_hw_args(compare)
+    _add_engine_args(compare)
     return parser
 
 

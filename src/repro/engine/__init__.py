@@ -35,21 +35,51 @@ Components
     cache benefit against realistic per-trial cost.  Stats are identical
     with and without the functional datapath (mapping-invariance).
 
+:mod:`~repro.engine.backends`
+    The executor backends ``evaluate_many`` runs cache misses on,
+    selected by name through a registry that mirrors the controller
+    registry: ``serial`` (inline), ``thread`` (shared-memory pool, GIL
+    bound for the pure-Python cycle models), and ``process`` (a process
+    pool — controllers are pure functions of (config, params, layer,
+    mapping) and pickle cleanly, so workers simulate independently and
+    return ``(key, stats)`` pairs that merge into the parent cache).
+
+:class:`~repro.engine.cache.PersistentStatsCache`
+    The disk tier: an append-only JSONL spill under the in-memory LRU.
+    Opening a cache on an existing file warm-starts it, so tuning
+    sessions resume warm across processes and workers can share one
+    measurement history.
+
 Who routes through it
 ---------------------
-* ``repro.tuner.measure.TuningTask`` — cycles/energy objectives
-  evaluate through an engine, making GA/XGB tuning dramatically cheaper
-  on revisited configs while keeping results bit-identical;
+* ``repro.tuner.measure.TuningTask`` — ``measure_batch`` submits a whole
+  tuner generation to ``evaluate_many``, making GA/XGB tuning
+  dramatically cheaper on revisited configs while keeping results
+  bit-identical;
+* ``repro.bifrost.api.StonneBifrostApi`` — offloaded conv2d/dense stats
+  lookups go through the session engine, so repeated shapes in one graph
+  skip the cycle model (the functional datapath still executes);
 * ``repro.bifrost.runner.run_layers`` — bare-descriptor benchmarking
-  uses the session's engine;
-* ``benchmarks/bench_engine_cache.py`` — measures the speedup.
+  batches through the session's engine;
+* ``benchmarks/bench_engine_cache.py`` — measures the speedups.
 
-Results are bit-identical with the cache on or off: every controller is
-a deterministic function of (layer, config, params, mapping), and cache
-hits return independent copies so callers can never corrupt the cache.
+Results are bit-identical with the cache on or off and across backends:
+every controller is a deterministic function of (layer, config, params,
+mapping), and cache hits return independent copies so callers can never
+corrupt the cache.
 """
 
-from repro.engine.cache import StatsCache
+from repro.engine.backends import (
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+from repro.engine.cache import PersistentStatsCache, StatsCache
 from repro.engine.evaluation import (
     EvalRequest,
     EvaluationEngine,
@@ -60,7 +90,16 @@ from repro.engine.evaluation import (
 __all__ = [
     "EvalRequest",
     "EvaluationEngine",
+    "ExecutorBackend",
+    "PersistentStatsCache",
+    "ProcessBackend",
+    "SerialBackend",
     "StatsCache",
+    "ThreadBackend",
     "evaluation_key",
     "fingerprint_config",
+    "make_backend",
+    "register_backend",
+    "registered_backends",
+    "unregister_backend",
 ]

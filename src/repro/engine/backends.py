@@ -1,0 +1,340 @@
+"""Executor backends: how a batch of simulations is actually run.
+
+The evaluation engine separates *what* to simulate (cache-missing
+``EvalRequest``s) from *how* to run the misses.  The "how" is an
+:class:`ExecutorBackend`, selected by name through a registry that
+mirrors the controller registry (:mod:`repro.stonne.controller`):
+
+* :class:`SerialBackend` — inline, one simulation at a time;
+* :class:`ThreadBackend` — a thread pool.  Threads share memory (cheap
+  fan-out for engines whose work releases the GIL) but the pure-Python
+  cycle models serialize on the GIL, so CPU-heavy sweeps gain little;
+* :class:`ProcessBackend` — a process pool.  Controllers are pure
+  functions of (config, params, layer, mapping) and every piece
+  pickles cleanly, so workers rebuild the controller once per process,
+  simulate their chunk, and ship ``(key, stats)`` pairs back for the
+  parent to merge into its :class:`~repro.engine.cache.StatsCache`.
+
+Backends receive work as ``(key, EvalRequest)`` pairs — ``key`` is the
+content-addressed cache key (``None`` when caching is off) — and return
+``(key, stats_or_exception)`` pairs in submission order.  Exceptions are
+captured per item rather than aborting the batch, so one invalid mapping
+cannot poison a generation of tuner proposals.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.errors import ConfigError
+
+#: One unit of backend work: (cache key or None, EvalRequest).
+WorkItem = Tuple[Optional[Hashable], "EvalRequest"]  # noqa: F821
+#: One backend result: the key plus either stats or the captured error.
+WorkResult = Tuple[Optional[Hashable], object]
+
+
+def _default_workers(requested: Optional[int]) -> int:
+    if requested is not None and requested > 0:
+        return requested
+    return max(2, os.cpu_count() or 2)
+
+
+class ExecutorBackend:
+    """How the engine executes a batch of cache-missing simulations.
+
+    Subclasses set :attr:`name` (the registry key) and implement
+    :meth:`run`.  Backends hold no simulation state of their own — the
+    engine passes itself in so backends can reach its config, params and
+    functional flag — which keeps one backend shareable across engines.
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    def run(
+        self,
+        engine,
+        items: Sequence[WorkItem],
+        max_workers: Optional[int] = None,
+    ) -> List[WorkResult]:
+        """Simulate every item, returning ``(key, stats | exception)``
+        pairs in submission order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def simulate_layer(controller, layer, mapping, functional: bool):
+    """Run one cycle-model simulation (plus the exact datapath when
+    ``functional``) on an already-built controller.
+
+    This is the single definition of "simulate" shared by the engine's
+    in-process path and the process-pool workers, so the two can never
+    drift apart.  Outputs of the functional datapath are discarded —
+    they never affect stats.
+    """
+    import numpy as np
+
+    from repro.stonne.layer import ConvLayer, FcLayer
+
+    if isinstance(layer, ConvLayer):
+        stats = controller.run_conv(layer, mapping)
+    elif isinstance(layer, FcLayer):
+        stats = controller.run_fc(layer, mapping)
+    else:
+        stats = controller.run_gemm(layer)
+    if functional:
+        from repro.stonne.simulator import _conv_via_gemm
+
+        if isinstance(layer, ConvLayer):
+            data = np.ones((layer.N, layer.C, layer.H, layer.W))
+            weights = np.ones((layer.K, layer.C // layer.G, layer.R, layer.S))
+            _conv_via_gemm(data, weights, layer)
+        elif isinstance(layer, FcLayer):
+            data = np.ones((layer.batch, layer.in_features))
+            weights = np.ones((layer.out_features, layer.in_features))
+            data @ weights.T
+        else:
+            np.ones((layer.M, layer.K)) @ np.ones((layer.K, layer.N))
+    return stats
+
+
+def _simulate_item(engine, item: WorkItem) -> WorkResult:
+    """Run one simulation in the calling thread, capturing errors."""
+    key, request = item
+    try:
+        return key, engine._simulate(request.layer, request.mapping)
+    except Exception as exc:  # per-item isolation, re-raised by callers
+        return key, exc
+
+
+class SerialBackend(ExecutorBackend):
+    """Inline execution — the baseline every other backend must beat."""
+
+    name = "serial"
+
+    def run(self, engine, items, max_workers=None):
+        return [_simulate_item(engine, item) for item in items]
+
+
+class _PooledBackend(ExecutorBackend):
+    """Shared pool lifecycle for the thread and process backends.
+
+    The pool is created lazily on first parallel batch, reused across
+    batches (spawn cost is paid once per backend), recreated when the
+    requested width changes, and released by :meth:`close`.  Batches too
+    small to benefit run inline.
+    """
+
+    #: concurrent.futures executor class; subclasses set this.
+    _pool_factory: ClassVar[type]
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+        self._pool = None
+        self._pool_width = 0
+
+    def _ensure_pool(self, workers: int):
+        if self._pool is None or self._pool_width != workers:
+            self.close()
+            self._pool = self._pool_factory(max_workers=workers)
+            self._pool_width = workers
+        return self._pool
+
+    def run(self, engine, items, max_workers=None):
+        workers = _default_workers(max_workers or self.max_workers)
+        if len(items) <= 1 or workers <= 1:
+            return [_simulate_item(engine, item) for item in items]
+        return self._run_pooled(engine, items, self._ensure_pool(workers))
+
+    def _run_pooled(self, engine, items, pool) -> List[WorkResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_width = 0
+
+
+class ThreadBackend(_PooledBackend):
+    """Thread-pooled execution.
+
+    Each worker thread lazily builds its own controller through the
+    engine (cycle-model tallies must not race).
+    """
+
+    name = "thread"
+    _pool_factory = ThreadPoolExecutor
+
+    def _run_pooled(self, engine, items, pool):
+        return list(pool.map(lambda item: _simulate_item(engine, item), items))
+
+
+# ----------------------------------------------------------------------
+# process backend
+# ----------------------------------------------------------------------
+#: Per-worker-process controller cache, keyed by the engine fingerprint.
+#: Workers rebuild a controller once and reuse it across chunks, which is
+#: what makes generation-sized batches cheap to fan out.
+_WORKER_CONTROLLERS: Dict[str, object] = {}
+
+
+def _process_chunk(spec: Tuple, chunk: List[Tuple]) -> List[Tuple]:
+    """Worker entry point: simulate one chunk of (position, key, layer,
+    mapping) items under the controller described by ``spec``.
+
+    Runs in the worker process.  Returns (position, key, stats-or-error)
+    triples; errors are captured so a bad mapping never kills the pool.
+    """
+    fingerprint, controller_cls, config, params, functional = spec
+    controller = _WORKER_CONTROLLERS.get(fingerprint)
+    if controller is None:
+        controller = controller_cls(config, params)
+        _WORKER_CONTROLLERS[fingerprint] = controller
+
+    results: List[Tuple] = []
+    for position, key, layer, mapping in chunk:
+        try:
+            results.append(
+                (position, key, simulate_layer(controller, layer, mapping, functional))
+            )
+        except Exception as exc:
+            results.append((position, key, exc))
+    return results
+
+
+class ProcessBackend(_PooledBackend):
+    """Process-pooled execution for CPU-bound sweeps.
+
+    The pure-Python cycle models hold the GIL, so threads cannot speed
+    them up; processes can.  Work is split into one chunk per worker to
+    amortize pickling, each worker simulates its chunk with a per-process
+    cached controller, and the parent merges the returned ``(key, stats)``
+    pairs into its cache.
+    """
+
+    name = "process"
+    _pool_factory = ProcessPoolExecutor
+
+    def _run_pooled(self, engine, items, pool):
+        spec = (
+            engine.fingerprint,
+            type(engine.controller),
+            engine.config,
+            engine.params,
+            engine.functional,
+        )
+        indexed = [
+            (position, key, request.layer, request.mapping)
+            for position, (key, request) in enumerate(items)
+        ]
+        chunks = [indexed[i :: self._pool_width] for i in range(self._pool_width)]
+        chunks = [chunk for chunk in chunks if chunk]
+        results: List[WorkResult] = [None] * len(items)  # type: ignore
+        for chunk_results in pool.map(
+            _process_chunk, [spec] * len(chunks), chunks
+        ):
+            for position, key, payload in chunk_results:
+                results[position] = (key, payload)
+        return results
+
+
+# ----------------------------------------------------------------------
+# registry (mirrors repro.stonne.controller)
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[ExecutorBackend]] = {}
+
+
+def register_backend(
+    name: str,
+) -> Callable[[Type[ExecutorBackend]], Type[ExecutorBackend]]:
+    """Class decorator registering an executor backend under ``name``."""
+
+    def decorator(cls: Type[ExecutorBackend]) -> Type[ExecutorBackend]:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigError(
+                f"executor backend {name!r} is already registered to "
+                f"{existing.__name__}; unregister it first"
+            )
+        _REGISTRY[name] = cls
+        # Stamp the registry name onto classes that don't declare their
+        # own; never mutate one that does (registering a built-in under
+        # an alias must not corrupt its original name).
+        if "name" not in cls.__dict__:
+            cls.name = name
+        return cls
+
+    return decorator
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registration (tests and hot-swapping extensions)."""
+    _REGISTRY.pop(name, None)
+
+
+def _ensure_builtin_backends() -> None:
+    for cls in (SerialBackend, ThreadBackend, ProcessBackend):
+        _REGISTRY.setdefault(cls.name, cls)
+
+
+def backend_class(name: str) -> Type[ExecutorBackend]:
+    """The registered backend class for ``name``."""
+    if name not in _REGISTRY:
+        _ensure_builtin_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"no executor backend registered for {name!r}; "
+            f"known backends: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def make_backend(
+    executor: Union[str, ExecutorBackend, None],
+    max_workers: Optional[int] = None,
+) -> ExecutorBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``None`` resolves to :class:`ThreadBackend` when ``max_workers``
+    asks for parallelism and :class:`SerialBackend` otherwise, matching
+    the engine's historical defaults.
+    """
+    if isinstance(executor, ExecutorBackend):
+        return executor
+    if executor is None:
+        executor = "thread" if max_workers is not None and max_workers > 1 else "serial"
+    cls = backend_class(executor)
+    try:
+        return cls(max_workers=max_workers)
+    except TypeError:  # backends without pools take no width argument
+        return cls()
+
+
+def registered_backends() -> List[str]:
+    """Sorted registry keys, built-ins included."""
+    _ensure_builtin_backends()
+    return sorted(_REGISTRY)
+
+
+_ensure_builtin_backends()

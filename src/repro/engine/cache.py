@@ -1,17 +1,30 @@
-"""The content-addressed simulation-stats cache (LRU-bounded).
+"""The content-addressed simulation-stats cache (LRU-bounded) and its
+disk-persistent variant.
 
 Keys are produced by :func:`repro.engine.evaluation.evaluation_key`;
 values are :class:`~repro.stonne.stats.SimulationStats`.  The cache
 stores and returns independent copies, so neither the producer nor any
 consumer can mutate a cached record (several controllers rename
 ``stats.layer_name`` in place, and reports attach energy records).
+
+:class:`PersistentStatsCache` adds an append-only JSONL spill: every new
+record is appended to disk as one line, and opening a cache on an
+existing file warm-starts it with everything previously measured — so
+tuning sessions resume warm across processes and a fleet of workers can
+share one measurement history.  The keys are already content-addressed
+(config/params digest plus structural layer/mapping tuples of plain
+scalars), so they round-trip through JSON exactly: tuples become lists
+on the way out and are frozen back into tuples on the way in.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from pathlib import Path
+from typing import Hashable, Optional, Tuple, Union
 
 from repro.stonne.stats import SimulationStats
 
@@ -83,3 +96,121 @@ class StatsCache:
     def counters(self) -> Tuple[int, int]:
         """(hits, misses) as a snapshot tuple."""
         return self.hits, self.misses
+
+
+# ----------------------------------------------------------------------
+# disk persistence
+# ----------------------------------------------------------------------
+def _freeze(value):
+    """Recursively turn JSON lists back into the tuples they were."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+class PersistentStatsCache(StatsCache):
+    """A :class:`StatsCache` with an append-only JSONL spill file.
+
+    Opening a cache on an existing file loads every record it holds
+    (warm start); every *new* key stored afterwards is appended as one
+    ``{"key": ..., "stats": ...}`` line and flushed, so a crash loses at
+    most the line being written — and a truncated or corrupt tail line
+    is skipped on the next load rather than poisoning the file.
+
+    Appends are single ``write`` calls on a file opened in append mode,
+    so several engine processes may share one path: the kernel serializes
+    the appends, and duplicate keys (two processes measuring the same
+    thing) are harmless — the last record wins on load, and records are
+    deterministic functions of their key anyway.
+
+    The LRU bound applies to the in-memory tier only; the spill file is
+    append-only history.  Re-storing a key already on disk does not
+    rewrite it (records are content-addressed, so the bytes would be
+    identical).
+
+    Args:
+        path: The JSONL spill file; created (with parents) when missing.
+        max_entries: In-memory LRU bound, as for :class:`StatsCache`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        super().__init__(max_entries=max_entries)
+        self.path = Path(path)
+        self.warm_entries = 0
+        self._persisted: set = set()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._load()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Warm-start from the spill file (counters untouched)."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = _freeze(record["key"])
+                    stats = SimulationStats.from_dict(record["stats"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # truncated tail or foreign line; skip
+                self._records[key] = stats
+                self._records.move_to_end(key)
+                self._persisted.add(key)
+                # The LRU bound applies to memory only; evicted keys stay
+                # in _persisted because their lines remain on disk.
+                while len(self._records) > self.max_entries:
+                    self._records.popitem(last=False)
+        self.warm_entries = len(self._records)
+
+    def put(self, key: Hashable, stats: SimulationStats) -> None:
+        """Store a copy of ``stats`` and append new keys to the spill."""
+        with self._lock:
+            self._records[key] = stats.clone()
+            self._records.move_to_end(key)
+            while len(self._records) > self.max_entries:
+                self._records.popitem(last=False)
+            if key not in self._persisted:
+                line = json.dumps(
+                    {"key": key, "stats": stats.to_dict()}, default=str
+                )
+                self._file.write(line + "\n")
+                self._file.flush()
+                self._persisted.add(key)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier and truncate the spill file."""
+        with self._lock:
+            self._records.clear()
+            self.hits = 0
+            self.misses = 0
+            self._persisted.clear()
+            self.warm_entries = 0
+            self._file.truncate(0)
+            self._file.seek(0)
+
+    def close(self) -> None:
+        """Flush and close the spill file (the cache stays readable)."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "PersistentStatsCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort flush on GC
+        try:
+            self.close()
+        except Exception:
+            pass

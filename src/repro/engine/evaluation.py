@@ -13,10 +13,14 @@ overview.  The key design points:
   :class:`~repro.stonne.stats.SimulationStats` with ``layer_name``
   rewritten to the requesting layer's name, so records stay attributable
   even when they were produced by a different layer of the same shape.
-* **Thread-pooled batching.**  ``evaluate_many`` fans requests out over
-  a thread pool; each worker thread lazily builds its own controller
-  (controllers keep internal tallies, e.g. the accumulation buffer's
-  write counters, which must not race).
+* **Pluggable batching.**  ``evaluate_many`` splits a batch into cache
+  hits and misses and hands the misses to an executor backend
+  (:mod:`repro.engine.backends`): serial, thread-pooled, or
+  process-pooled.  Batch-internal duplicates simulate once.  Worker
+  threads lazily build their own controller (controllers keep internal
+  tallies, e.g. the accumulation buffer's write counters, which must
+  not race); worker processes return ``(key, stats)`` pairs that merge
+  into the parent cache.
 """
 
 from __future__ import annotations
@@ -24,11 +28,8 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, fields
 from typing import Hashable, Iterable, List, Optional, Tuple, Union
-
-import numpy as np
 
 from repro.errors import SimulationError
 from repro.stonne.controller import AcceleratorController, make_controller
@@ -37,6 +38,7 @@ from repro.stonne.mapping import ConvMapping, FcMapping
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
 from repro.stonne.stats import SimulationStats
 
+from repro.engine.backends import ExecutorBackend, make_backend
 from repro.engine.cache import StatsCache
 
 Layer = Union[ConvLayer, FcLayer, GemmLayer]
@@ -120,7 +122,13 @@ class EvaluationEngine:
             datapath (im2col GEMM) with synthetic tensors, reproducing
             real STONNE's cost profile where the exact objective requires
             a full simulation.  Statistics are identical either way.
-        max_workers: Default thread-pool width for :meth:`evaluate_many`.
+        executor: How :meth:`evaluate_many` runs cache misses: a backend
+            name from :func:`repro.engine.backends.registered_backends`
+            ("serial"/"thread"/"process") or an
+            :class:`~repro.engine.backends.ExecutorBackend` instance.
+            ``None`` keeps the historical default — threads when
+            ``max_workers`` asks for parallelism, inline otherwise.
+        max_workers: Default pool width for :meth:`evaluate_many`.
     """
 
     def __init__(
@@ -130,6 +138,7 @@ class EvaluationEngine:
         cache: Optional[StatsCache] = None,
         cache_enabled: bool = True,
         functional: bool = False,
+        executor: Union[str, ExecutorBackend, None] = None,
         max_workers: Optional[int] = None,
     ) -> None:
         self.config = config
@@ -138,6 +147,7 @@ class EvaluationEngine:
         self.cache_enabled = cache_enabled
         self.functional = functional
         self.max_workers = max_workers
+        self.backend: ExecutorBackend = make_backend(executor, max_workers)
         self.controller: AcceleratorController = make_controller(config, params)
         self.num_evaluations = 0
         self.num_simulations = 0
@@ -146,6 +156,8 @@ class EvaluationEngine:
         )
         self._counter_lock = threading.Lock()
         self._thread_local = threading.local()
+        #: Per-call override backends, keyed by (executor name, width).
+        self._override_backends: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -172,33 +184,12 @@ class EvaluationEngine:
         return controller
 
     # ------------------------------------------------------------------
-    def _run_functional(self, layer: Layer) -> None:
-        """Execute the exact datapath, the expensive part of a real
-        STONNE run (outputs are discarded; they never affect stats)."""
-        from repro.stonne.simulator import _conv_via_gemm
-
-        if isinstance(layer, ConvLayer):
-            data = np.ones((layer.N, layer.C, layer.H, layer.W))
-            weights = np.ones((layer.K, layer.C // layer.G, layer.R, layer.S))
-            _conv_via_gemm(data, weights, layer)
-        elif isinstance(layer, FcLayer):
-            data = np.ones((layer.batch, layer.in_features))
-            weights = np.ones((layer.out_features, layer.in_features))
-            data @ weights.T
-        else:
-            np.ones((layer.M, layer.K)) @ np.ones((layer.K, layer.N))
-
     def _simulate(self, layer: Layer, mapping: Optional[Mapping]) -> SimulationStats:
-        controller = self._local_controller()
-        if isinstance(layer, ConvLayer):
-            stats = controller.run_conv(layer, mapping)
-        elif isinstance(layer, FcLayer):
-            stats = controller.run_fc(layer, mapping)
-        else:
-            stats = controller.run_gemm(layer)
-        if self.functional:
-            self._run_functional(layer)
-        return stats
+        from repro.engine.backends import simulate_layer
+
+        return simulate_layer(
+            self._local_controller(), layer, mapping, self.functional
+        )
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -233,28 +224,142 @@ class EvaluationEngine:
     def evaluate_request(self, request: EvalRequest) -> SimulationStats:
         return self.evaluate(request.layer, request.mapping)
 
+    def _resolve_backend(
+        self,
+        executor: Union[str, ExecutorBackend, None],
+        max_workers: Optional[int],
+    ) -> ExecutorBackend:
+        """The backend one ``evaluate_many`` call should use.
+
+        An explicit ``executor`` wins; an explicit ``max_workers`` keeps
+        the historical behaviour (threads above 1, inline otherwise);
+        everything else uses the engine's configured backend.  Override
+        backends are cached per (name, width) so repeated calls reuse
+        one pool, and :meth:`close` shuts them all down.
+        """
+        if executor is None and max_workers is None:
+            return self.backend
+        if isinstance(executor, ExecutorBackend):
+            return executor  # caller-owned; the caller closes it
+        key = (executor, max_workers)
+        backend = self._override_backends.get(key)
+        if backend is None:
+            backend = make_backend(executor, max_workers)
+            self._override_backends[key] = backend
+        return backend
+
     def evaluate_many(
         self,
         requests: Iterable[Union[EvalRequest, Layer]],
         max_workers: Optional[int] = None,
+        executor: Union[str, ExecutorBackend, None] = None,
+        return_errors: bool = False,
     ) -> List[SimulationStats]:
         """Evaluate a batch, preserving order.
 
         Bare layers are accepted as shorthand for mapping-less requests.
-        With ``max_workers`` (or the engine default) above 1 the batch
-        fans out over a thread pool; otherwise it runs inline.
+        The batch is split into cache hits and misses; misses — deduped,
+        so a key appearing twice in one batch simulates once — run on the
+        executor backend (the engine's, or a per-call override via
+        ``executor``/``max_workers``) and merge back into the cache.
+
+        Per-request failures abort the batch by re-raising the first one
+        unless ``return_errors`` is True, in which case the failed slots
+        hold the exception instances instead of stats.
         """
         normalized: List[EvalRequest] = [
             r if isinstance(r, EvalRequest) else EvalRequest(layer=r)
             for r in requests
         ]
-        workers = max_workers if max_workers is not None else self.max_workers
         if not normalized:
             return []
-        if workers is None or workers <= 1 or len(normalized) == 1:
-            return [self.evaluate_request(r) for r in normalized]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.evaluate_request, normalized))
+        for request in normalized:
+            if not isinstance(request.layer, (ConvLayer, FcLayer, GemmLayer)):
+                raise SimulationError(
+                    f"EvaluationEngine expects ConvLayer/FcLayer/GemmLayer, "
+                    f"got {type(request.layer).__name__}"
+                )
+        backend = self._resolve_backend(executor, max_workers)
+        workers = max_workers if max_workers is not None else self.max_workers
+        with self._counter_lock:
+            self.num_evaluations += len(normalized)
+
+        results: List[Optional[SimulationStats]] = [None] * len(normalized)
+
+        if not self.cache_enabled:
+            run = backend.run(
+                self,
+                [(None, request) for request in normalized],
+                max_workers=workers,
+            )
+            simulated = 0
+            for position, (_, payload) in enumerate(run):
+                if isinstance(payload, Exception):
+                    if not return_errors:
+                        raise payload
+                    results[position] = payload
+                else:
+                    simulated += 1
+                    results[position] = payload
+            with self._counter_lock:
+                self.num_simulations += simulated
+            return results
+
+        misses: List[Tuple[Hashable, EvalRequest]] = []
+        miss_positions: List[int] = []
+        pending: set = set()
+        duplicates: List[Tuple[int, Hashable]] = []
+        for position, request in enumerate(normalized):
+            key = evaluation_key(self._fingerprint, request.layer, request.mapping)
+            if key in pending:
+                # Resolved from the cache after the first occurrence runs,
+                # mirroring what a serial loop would do.
+                duplicates.append((position, key))
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                cached.layer_name = request.layer.name
+                results[position] = cached
+            else:
+                pending.add(key)
+                misses.append((key, request))
+                miss_positions.append(position)
+
+        miss_errors: dict = {}
+        miss_stats: dict = {}
+        if misses:
+            run = backend.run(self, misses, max_workers=workers)
+            simulated = 0
+            first_error: Optional[Exception] = None
+            for position, (key, payload) in zip(miss_positions, run):
+                if isinstance(payload, Exception):
+                    if first_error is None:
+                        first_error = payload
+                    miss_errors[key] = payload
+                    results[position] = payload
+                else:
+                    simulated += 1
+                    self.cache.put(key, payload)
+                    miss_stats[key] = payload
+                    results[position] = payload
+            with self._counter_lock:
+                self.num_simulations += simulated
+            if first_error is not None and not return_errors:
+                raise first_error
+
+        for position, key in duplicates:
+            if key in miss_errors:
+                # The first occurrence failed; its error stands in here too.
+                results[position] = miss_errors[key]
+                continue
+            cached = self.cache.get(key)
+            if cached is None:
+                # Already evicted (LRU bound smaller than the batch's
+                # distinct misses); serve the batch-local result instead.
+                cached = miss_stats[key].clone()
+            cached.layer_name = normalized[position].layer.name
+            results[position] = cached
+        return results
 
     # ------------------------------------------------------------------
     @property
@@ -274,4 +379,13 @@ class EvaluationEngine:
             "cache_misses": self.cache.misses,
             "cache_size": len(self.cache),
             "cache_hit_rate": self.cache.hit_rate,
+            "executor": self.backend.name,
         }
+
+    def close(self) -> None:
+        """Release backend pools (worker threads/processes), if any —
+        the engine's own backend plus any cached per-call overrides."""
+        self.backend.close()
+        for backend in self._override_backends.values():
+            backend.close()
+        self._override_backends.clear()

@@ -23,7 +23,7 @@ STONNE's psum counter is workload-specific and we mirror that asymmetry
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional
 
 
@@ -135,6 +135,20 @@ class SimulationStats:
             },
             "phase_cycles": dict(self.phase_cycles),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationStats":
+        """Rebuild a record from :meth:`to_dict` output (persistence).
+
+        Derived fields (``utilization``) and unknown keys are ignored, so
+        records written by older/newer versions still load.
+        """
+        known = {f.name for f in fields(cls)}
+        payload = {k: v for k, v in data.items() if k in known}
+        traffic = payload.get("traffic")
+        if isinstance(traffic, dict):
+            payload["traffic"] = TrafficBreakdown(**traffic)
+        return cls(**payload)
 
     def summary(self) -> str:
         return (

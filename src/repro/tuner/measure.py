@@ -11,9 +11,9 @@ expose both objectives over the mapping spaces of :mod:`repro.tuner.space`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.engine import EvaluationEngine
+from repro.engine import EvalRequest, EvaluationEngine
 from repro.errors import MappingError, TuningError
 from repro.stonne.config import SimulatorConfig
 from repro.stonne.layer import ConvLayer, FcLayer
@@ -65,6 +65,11 @@ class TuningTask:
     :attr:`num_simulations` counts only the evaluations that actually ran
     a cycle-model simulation (cache misses), so benchmarks can report
     real simulation savings.
+
+    Tasks also memoize at the *cost* level: :meth:`measure_batch` keys a
+    config-index -> :class:`MeasureResult` memo, so a revisited index
+    skips mapping construction and space validation entirely, not just
+    the simulation the engine cache would have saved.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class TuningTask:
         self.num_measurements = 0
         self._local_sims = 0
         self._engine_sim_baseline = engine.num_simulations if engine else 0
+        self._cost_memo: Dict[int, MeasureResult] = {}
 
     @property
     def num_simulations(self) -> int:
@@ -92,22 +98,166 @@ class TuningTask:
     def evaluate(self, config: Config) -> float:
         raise NotImplementedError
 
-    def measure(self, config: Config) -> MeasureResult:
-        """Evaluate one config, recording the measurement count."""
+    def evaluate_batch(self, configs: Sequence[Config]) -> List[float]:
+        """Costs for a batch of *valid* configs, isolating per-config
+        mapping failures as :data:`INVALID_COST`.
+
+        The default runs :meth:`evaluate` per config; engine-backed tasks
+        override this to submit the whole batch to
+        :meth:`~repro.engine.EvaluationEngine.evaluate_many`, which is
+        what lets a process backend fan a tuner generation out.
+        """
+        costs: List[float] = []
+        for config in configs:
+            try:
+                costs.append(self.evaluate(config))
+                if self.engine is None:
+                    self._local_sims += 1
+            except MappingError:
+                costs.append(INVALID_COST)
+        return costs
+
+    def measure(self, config: Config, index: Optional[int] = None) -> MeasureResult:
+        """Evaluate one config, recording the measurement count.
+
+        With ``index`` the result is memoized, and revisits are served
+        from the memo without touching the space or the engine.
+        """
         self.num_measurements += 1
+        if index is not None and index in self._cost_memo:
+            return self._cost_memo[index]
         if not self.space.is_valid(config):
-            return MeasureResult(config=config, cost=INVALID_COST,
-                                 objective=self.objective)
-        try:
-            cost = self.evaluate(config)
-            if self.engine is None:
-                self._local_sims += 1
-        except MappingError:
-            cost = INVALID_COST
-        return MeasureResult(config=config, cost=cost, objective=self.objective)
+            result = MeasureResult(config=config, cost=INVALID_COST,
+                                   objective=self.objective)
+        else:
+            try:
+                cost = self.evaluate(config)
+                if self.engine is None:
+                    self._local_sims += 1
+            except MappingError:
+                cost = INVALID_COST
+            result = MeasureResult(config=config, cost=cost,
+                                   objective=self.objective)
+        if index is not None:
+            self._cost_memo[index] = result
+        return result
+
+    def measure_batch(self, indices: Sequence[int]) -> List[MeasureResult]:
+        """Measure a whole generation of config indices at once.
+
+        Memoized indices are served immediately; the rest are validated,
+        and every cost that needs evaluation goes through
+        :meth:`evaluate_batch` in a single call — one batch for the
+        engine's executor backend instead of one submission per trial.
+        """
+        self.num_measurements += len(indices)
+        results: List[Optional[MeasureResult]] = [None] * len(indices)
+        first_seen: Dict[int, int] = {}  # index -> position of first occurrence
+        duplicates: List[int] = []
+        fresh_positions: List[int] = []
+        fresh_configs: List[Config] = []
+        for position, index in enumerate(indices):
+            memo = self._cost_memo.get(index)
+            if memo is not None:
+                results[position] = memo
+                continue
+            if index in first_seen:
+                duplicates.append(position)
+                continue
+            first_seen[index] = position
+            config = self.space.config_at(index)
+            if not self.space.is_valid(config):
+                results[position] = MeasureResult(
+                    config=config, cost=INVALID_COST, objective=self.objective
+                )
+            else:
+                fresh_positions.append(position)
+                fresh_configs.append(config)
+        if fresh_configs:
+            costs = self.evaluate_batch(fresh_configs)
+            for position, config, cost in zip(
+                fresh_positions, fresh_configs, costs
+            ):
+                results[position] = MeasureResult(
+                    config=config, cost=cost, objective=self.objective
+                )
+        for index, position in first_seen.items():
+            self._cost_memo.setdefault(index, results[position])
+        for position in duplicates:
+            results[position] = results[first_seen[indices[position]]]
+        return results
 
 
-class MaeriConvTask(TuningTask):
+class _MaeriLayerTask(TuningTask):
+    """Shared machinery of the MAERI conv/FC tuning tasks.
+
+    Subclasses provide :meth:`best_mapping` (config -> mapping) and
+    :meth:`_estimate_psums`; everything else — single and batched
+    evaluation, cost-from-stats — is identical for both workloads.
+    """
+
+    def __init__(self, layer, space, objective, engine) -> None:
+        super().__init__(space, objective, engine=engine)
+        self.layer = layer
+        self.controller = self.engine.controller
+
+    def best_mapping(self, config: Config):
+        raise NotImplementedError
+
+    def _estimate_psums(self, mapping) -> int:
+        raise NotImplementedError
+
+    def _cost_from_stats(self, stats) -> float:
+        if self.objective == "energy":
+            from repro.stonne.energy import estimate_energy
+
+            return estimate_energy(stats).total
+        return float(stats.cycles)
+
+    def evaluate(self, config: Config) -> float:
+        mapping = self.best_mapping(config)
+        if self.objective == "psums":
+            return float(self._estimate_psums(mapping))
+        return self._cost_from_stats(self.engine.evaluate(self.layer, mapping))
+
+    def evaluate_batch(self, configs: Sequence[Config]) -> List[float]:
+        """Batch evaluation: one ``evaluate_many`` per generation.
+
+        The psums objective is closed-form (no simulation), so it stays a
+        loop; cycles/energy submit every simulation-requiring config in a
+        single engine batch, which the executor backend may fan out over
+        threads or worker processes.  Per-config mapping failures price
+        at :data:`INVALID_COST` without poisoning the batch.
+        """
+        costs: List[Optional[float]] = [None] * len(configs)
+        pending_positions: List[int] = []
+        pending_mappings: List = []
+        for position, config in enumerate(configs):
+            try:
+                mapping = self.best_mapping(config)
+                if self.objective == "psums":
+                    costs[position] = float(self._estimate_psums(mapping))
+                else:
+                    pending_positions.append(position)
+                    pending_mappings.append(mapping)
+            except MappingError:
+                costs[position] = INVALID_COST
+        if pending_mappings:
+            outcomes = self.engine.evaluate_many(
+                [EvalRequest(self.layer, m) for m in pending_mappings],
+                return_errors=True,
+            )
+            for position, outcome in zip(pending_positions, outcomes):
+                if isinstance(outcome, MappingError):
+                    costs[position] = INVALID_COST
+                elif isinstance(outcome, Exception):
+                    raise outcome
+                else:
+                    costs[position] = self._cost_from_stats(outcome)
+        return costs
+
+
+class MaeriConvTask(_MaeriLayerTask):
     """Tune the conv mapping of ``layer`` on a MAERI configuration."""
 
     def __init__(
@@ -120,29 +270,20 @@ class MaeriConvTask(TuningTask):
         engine: Optional[EvaluationEngine] = None,
     ) -> None:
         super().__init__(
+            layer,
             space or conv_mapping_space(layer, config.ms_size, max_options_per_tile),
             objective,
-            engine=engine or EvaluationEngine(config),
+            engine or EvaluationEngine(config),
         )
-        self.layer = layer
-        self.controller = self.engine.controller
-
-    def evaluate(self, config: Config) -> float:
-        mapping = config_to_conv_mapping(config)
-        if self.objective == "psums":
-            return float(self.controller.estimate_conv_psums(self.layer, mapping))
-        stats = self.engine.evaluate(self.layer, mapping)
-        if self.objective == "energy":
-            from repro.stonne.energy import estimate_energy
-
-            return estimate_energy(stats).total
-        return float(stats.cycles)
 
     def best_mapping(self, config: Config):
         return config_to_conv_mapping(config)
 
+    def _estimate_psums(self, mapping) -> int:
+        return self.controller.estimate_conv_psums(self.layer, mapping)
 
-class MaeriFcTask(TuningTask):
+
+class MaeriFcTask(_MaeriLayerTask):
     """Tune the FC mapping of ``layer`` on a MAERI configuration."""
 
     def __init__(
@@ -154,26 +295,17 @@ class MaeriFcTask(TuningTask):
         engine: Optional[EvaluationEngine] = None,
     ) -> None:
         super().__init__(
+            layer,
             space or fc_mapping_space(layer, config.ms_size),
             objective,
-            engine=engine or EvaluationEngine(config),
+            engine or EvaluationEngine(config),
         )
-        self.layer = layer
-        self.controller = self.engine.controller
-
-    def evaluate(self, config: Config) -> float:
-        mapping = config_to_fc_mapping(config)
-        if self.objective == "psums":
-            return float(self.controller.estimate_fc_psums(self.layer, mapping))
-        stats = self.engine.evaluate(self.layer, mapping)
-        if self.objective == "energy":
-            from repro.stonne.energy import estimate_energy
-
-            return estimate_energy(stats).total
-        return float(stats.cycles)
 
     def best_mapping(self, config: Config):
         return config_to_fc_mapping(config)
+
+    def _estimate_psums(self, mapping) -> int:
+        return self.controller.estimate_fc_psums(self.layer, mapping)
 
 
 class CallableTask(TuningTask):

@@ -83,23 +83,26 @@ class Tuner:
 
         while len(records.trials) < n_trials:
             want = min(self.batch_size, n_trials - len(records.trials))
-            indices = self.propose(want)
-            if not indices:
+            proposed = self.propose(want)
+            if not proposed:
                 break  # space exhausted
+            indices = [i for i in proposed if i not in self._seen]
+            self._seen.update(indices)
+            if not indices:
+                continue
+            # The whole generation is measured in one batch, so the
+            # task can submit it to the engine's executor backend
+            # (threads/processes) instead of one trial at a time.
+            results = self.task.measure_batch(indices)
             costs: List[float] = []
             measured: List[int] = []
-            for index in indices:
-                if index in self._seen:
-                    continue
-                self._seen.add(index)
-                config = self.task.space.config_at(index)
-                result = self.task.measure(config)
-                records.add(index, config, result.cost)
+            for index, result in zip(indices, results):
+                records.add(index, result.config, result.cost)
                 costs.append(result.cost)
                 measured.append(index)
                 if result.cost < best_cost:
                     best_cost = result.cost
-                    best_config = config
+                    best_config = result.config
                     trials_since_best = 0
                 else:
                     trials_since_best += 1
