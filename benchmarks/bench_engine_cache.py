@@ -207,3 +207,85 @@ def test_persistent_cache_warm_start(benchmark, results_dir):
     assert warm["best_costs"] == cold["best_costs"]
     assert warm["simulations"] == 0  # everything served from disk
     assert warm["hit_rate"] >= 0.90, f"warm hit rate {warm['hit_rate']:.1%}"
+
+
+# ----------------------------------------------------------------------
+# fleet tier: generation-sized batches sharded across two localhost workers
+# ----------------------------------------------------------------------
+#: Valid mappings per sweep layer (one "generation" of measurements).
+FLEET_BATCH = scaled(48, 12)
+
+
+def _fleet_generation(layer):
+    """The first FLEET_BATCH valid mappings of ``layer``'s tuning space —
+    a deterministic stand-in for one tuner generation of cache misses."""
+    task = MaeriConvTask(layer, CONFIG, objective="cycles")
+    mappings = []
+    for index in task.space.valid_indices():
+        mappings.append(task.best_mapping(task.space.config_at(index)))
+        if len(mappings) == FLEET_BATCH:
+            break
+    return mappings
+
+
+def _fleet_sweep(executor):
+    """Evaluate every layer's generation through one engine (exact
+    datapath per simulation, the paper's expensive-objective regime)."""
+    from repro.engine import EvalRequest
+
+    engine = EvaluationEngine(
+        CONFIG, cache=StatsCache(), functional=True, executor=executor
+    )
+    all_stats = []
+    start = time.perf_counter()
+    for layer in SWEEP_LAYERS:
+        requests = [
+            EvalRequest(layer, mapping) for mapping in _fleet_generation(layer)
+        ]
+        all_stats.extend(s.to_dict() for s in engine.evaluate_many(requests))
+    elapsed = time.perf_counter() - start
+    simulations = engine.num_simulations
+    engine.close()
+    return {"elapsed": elapsed, "stats": all_stats, "simulations": simulations}
+
+
+def test_backend_remote_two_workers_vs_serial(benchmark, results_dir):
+    """The remote backend is an execution detail: generation-sized
+    batches sharded across two localhost worker daemons must produce
+    bit-identical stats to inline serial execution, with both workers
+    participating and no silent fallback."""
+    from repro.fleet import start_worker
+    from repro.fleet.remote_backend import RemoteBackend
+
+    def _run():
+        workers = [start_worker() for _ in range(2)]
+        backend = RemoteBackend(workers=[w.address for w, _ in workers])
+        try:
+            serial = _fleet_sweep("serial")
+            remote = _fleet_sweep(backend)
+            remote["fallback_batches"] = backend.fallback_batches
+        finally:
+            for w, _ in workers:
+                w.close()
+        return serial, remote, [w.items_served for w, _ in workers]
+
+    serial, remote, served = benchmark.pedantic(_run, rounds=1, iterations=1)
+    ratio = serial["elapsed"] / remote["elapsed"]
+    lines = [
+        f"cold measurement batches, exact datapath per simulation, "
+        f"{len(SWEEP_LAYERS)} layers x {FLEET_BATCH} mappings, "
+        f"2 localhost fleet workers (wire-protocol overhead included)",
+        f"{'':<16}{'wall s':>10}{'simulations':>13}",
+        f"{'serial':<16}{serial['elapsed']:>10.3f}{serial['simulations']:>13,}",
+        f"{'remote x2':<16}{remote['elapsed']:>10.3f}{remote['simulations']:>13,}",
+        f"serial/remote wall ratio: {ratio:.2f}x   "
+        f"items per worker: {served}",
+    ]
+    emit(results_dir, "engine_remote_fleet", "\n".join(lines))
+
+    # Identical stats, identical work, both workers used, no fallback.
+    assert remote["stats"] == serial["stats"]
+    assert remote["simulations"] == serial["simulations"]
+    assert remote["fallback_batches"] == 0
+    assert all(count > 0 for count in served)
+    assert sum(served) == remote["simulations"]

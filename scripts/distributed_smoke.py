@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Distributed smoke test: two real worker daemons vs serial execution.
+
+Spawns two ``repro worker`` processes on ephemeral localhost ports, runs
+a small GA tune through ``--executor remote`` against them, runs the
+identical tune with ``--executor serial``, and asserts the two report
+the *same best mapping and best cost* — the fleet tier is an execution
+detail, never an approximation.  Exits non-zero on any divergence, so
+CI can gate on it.
+
+Usage: PYTHONPATH=src python scripts/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+TUNE_ARGS = [
+    "tune", "lenet", "conv1",
+    "--objective", "cycles", "--tuner", "ga",
+    "--trials", "40", "--seed", "0",
+]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = os.pathsep.join(filter(None, [src, env.get("PYTHONPATH")]))
+    return env
+
+
+def _spawn_worker(env: dict) -> tuple:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on ([\d.]+:\d+)", banner)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"worker failed to start: {banner!r}")
+    return proc, match.group(1)
+
+
+def _tune(env: dict, extra: list) -> list:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli"] + TUNE_ARGS + extra,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"tune {extra} failed ({result.returncode}):\n"
+            f"{result.stdout}{result.stderr}"
+        )
+    lines = result.stdout.splitlines()
+    return (
+        [line for line in lines if line.startswith("best ")],
+        [line for line in lines if line.startswith("fleet:")],
+    )
+
+
+def main() -> int:
+    env = _env()
+    workers = []
+    try:
+        workers = [_spawn_worker(env) for _ in range(2)]
+        addresses = ",".join(address for _, address in workers)
+        print(f"workers: {addresses}")
+        serial, _ = _tune(env, ["--executor", "serial"])
+        remote, fleet = _tune(
+            env, ["--executor", "remote", "--workers", addresses]
+        )
+    finally:
+        for proc, _ in workers:
+            proc.send_signal(signal.SIGINT)
+        for proc, _ in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    print(f"serial: {serial}")
+    print(f"remote: {remote}  {fleet}")
+    if not serial or serial != remote:
+        print("FAIL: remote tuning diverged from serial", file=sys.stderr)
+        return 1
+    # Identical results alone would also be produced by a silent inline
+    # fallback; the fleet counters prove the workers actually served.
+    if fleet != ["fleet: 0 fallback batches, 0 retried shards"]:
+        print(f"FAIL: fleet did not serve the run cleanly: {fleet}",
+              file=sys.stderr)
+        return 1
+    print("OK: remote 2-worker tune is bit-identical to serial "
+          "(workers served, no fallback)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.bifrost.mapping_config import MappingConfigurator
-from repro.engine import EvaluationEngine, PersistentStatsCache
+from repro.engine import EvaluationEngine, make_stats_cache
 from repro.errors import LayerError, SimulationError
 from repro.stonne.config import SimulatorConfig
 from repro.stonne.controller import controller_class
@@ -56,11 +56,18 @@ class StonneBifrostApi:
     for every call.
 
     Args:
-        executor: Executor backend name ("serial"/"thread"/"process") or
-            instance for the session engine's batched evaluations.
-        cache_path: When set, the engine's stats cache is a
-            :class:`~repro.engine.PersistentStatsCache` spilling to this
-            JSONL file, so sessions resume warm across processes.
+        executor: Executor backend name
+            ("serial"/"thread"/"process"/"remote") or instance for the
+            session engine's batched evaluations.
+        workers: Fleet worker addresses (``host:port``) for the remote
+            backend.  Setting this implies ``executor="remote"`` unless
+            an explicit executor is named.
+        cache_path: When set, the engine's stats cache persists to this
+            file (dispatched by extension through
+            :func:`~repro.engine.make_stats_cache`: ``.sqlite`` selects
+            the shared WAL tier concurrent processes share mid-sweep,
+            anything else the JSONL spill), so sessions resume warm
+            across processes.
         max_workers: Pool width for the engine's executor backend.
     """
 
@@ -71,6 +78,7 @@ class StonneBifrostApi:
     executor: Optional[str] = None
     cache_path: Optional[str] = None
     max_workers: Optional[int] = None
+    workers: Optional[List[str]] = None
     _layer_counter: Dict[str, int] = field(default_factory=dict)
     _engine: Optional[EvaluationEngine] = field(default=None, repr=False)
 
@@ -79,15 +87,20 @@ class StonneBifrostApi:
         # tuner simulations and run_layers populate the same stats cache.
         if self._engine is None:
             cache = (
-                PersistentStatsCache(self.cache_path)
+                make_stats_cache(self.cache_path)
                 if self.cache_path is not None
                 else None
+            )
+            from repro.fleet.remote_backend import resolve_executor
+
+            executor = resolve_executor(
+                self.executor, self.workers, self.max_workers
             )
             self._engine = EvaluationEngine(
                 self.config,
                 self.params,
                 cache=cache,
-                executor=self.executor,
+                executor=executor,
                 max_workers=self.max_workers,
             )
         if self.mappings.engine is None:
@@ -230,10 +243,6 @@ class StonneBifrostApi:
         if data.ndim != 2 or weights.ndim != 2:
             raise LayerError(
                 f"dense expects 2-D tensors, got {data.shape} and {weights.shape}"
-            )
-        if data.shape[0] != 1:
-            raise SimulationError(
-                f"STONNE supports batch 1 only, got batch {data.shape[0]}"
             )
         if weights.shape[1] != data.shape[1]:
             raise SimulationError(

@@ -55,14 +55,18 @@ def make_session(
     executor: Optional[str] = None,
     cache_path: Optional[str] = None,
     max_workers: Optional[int] = None,
+    workers: Optional[List[str]] = None,
 ) -> StonneBifrostApi:
     """Build a Bifrost session: config + mapping configurator + stats.
 
     ``executor`` selects the session engine's backend
-    ("serial"/"thread"/"process") for batched evaluations — tuner
-    generations and :func:`run_layers` batches fan out through it.
-    ``cache_path`` spills the engine's stats cache to a JSONL file so a
-    later session (or a fleet of workers) starts warm.
+    ("serial"/"thread"/"process"/"remote") for batched evaluations —
+    tuner generations and :func:`run_layers` batches fan out through it.
+    ``workers`` is the fleet for the remote backend (``host:port``
+    addresses; implies ``executor="remote"`` unless one is named).
+    ``cache_path`` persists the engine's stats cache — a ``.sqlite``
+    path selects the shared WAL tier a fleet can read and write
+    mid-sweep, anything else the JSONL warm-start spill.
     """
     mappings = MappingConfigurator(
         config=config,
@@ -78,6 +82,7 @@ def make_session(
         executor=executor,
         cache_path=cache_path,
         max_workers=max_workers,
+        workers=list(workers) if workers else None,
     )
 
 
@@ -155,7 +160,8 @@ def run_layers(
     :meth:`~repro.engine.EvaluationEngine.evaluate_many` — repeated
     shapes are served from the stats cache instead of re-simulated, and
     ``executor`` overrides the engine's backend for this batch
-    ("serial"/"thread"/"process").
+    ("serial"/"thread"/"process"/"remote" — the last fans the batch out
+    across the session's fleet workers).
     """
     from repro.engine import EvalRequest
     from repro.stonne.layer import ConvLayer, FcLayer

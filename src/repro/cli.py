@@ -7,14 +7,18 @@ Subcommands:
   per-layer cycles (and optionally energy);
 * ``tune`` — tune one layer's mapping with a chosen tuner/objective;
 * ``compare`` — default vs AutoTVM vs mRNA mappings for a zoo model's
-  accelerated layers (the Figure 12 view).
+  accelerated layers (the Figure 12 view);
+* ``worker`` — a fleet worker daemon serving simulation batches over
+  TCP (the execution side of ``--executor remote``);
+* ``cache`` — maintenance of persistent stats caches (``compact``).
 
 ``run``/``tune``/``compare`` accept ``--executor
-{serial,thread,process}`` to pick the evaluation engine's executor
-backend (``process`` runs simulations truly in parallel across worker
-processes) and ``--cache-path FILE`` to persist the simulation-stats
-cache as JSONL — re-running against the same file starts warm and skips
-every already-measured configuration.
+{serial,thread,process,remote}`` to pick the evaluation engine's
+executor backend (``process`` runs simulations in parallel across local
+worker processes; ``remote`` shards batches across ``--workers`` fleet
+daemons) and ``--cache-path FILE`` to persist the simulation-stats
+cache — ``.sqlite`` selects the shared WAL tier concurrent sweeps read
+and write mid-run, anything else the JSONL warm-start spill.
 
 Entry point: ``python -m repro.cli <subcommand> ...`` (argument lists are
 plain data, so the test suite drives :func:`main` directly).
@@ -73,19 +77,31 @@ def _build_config(args):
     return config
 
 
+def _parse_workers(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
 def _build_engine(config, args):
-    """An evaluation engine honouring the --executor/--cache-path flags."""
-    from repro.engine import EvaluationEngine, PersistentStatsCache
+    """An evaluation engine honouring --executor/--cache-path/--workers."""
+    from repro.engine import EvaluationEngine, make_stats_cache
+    from repro.fleet.remote_backend import resolve_executor
 
     cache = (
-        PersistentStatsCache(args.cache_path)
+        make_stats_cache(args.cache_path)
         if getattr(args, "cache_path", None)
         else None
+    )
+    executor = resolve_executor(
+        getattr(args, "executor", None),
+        _parse_workers(getattr(args, "workers", None)),
+        getattr(args, "max_workers", None),
     )
     return EvaluationEngine(
         config,
         cache=cache,
-        executor=getattr(args, "executor", None),
+        executor=executor,
         max_workers=getattr(args, "max_workers", None),
     )
 
@@ -106,16 +122,41 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor", choices=registered_backends(), default=None,
         help="executor backend for batched evaluations: serial (inline), "
-             "thread (GIL-bound pool), or process (true parallel "
-             "simulation across worker processes)")
+             "thread (GIL-bound pool), process (true parallel simulation "
+             "across worker processes), or remote (shard batches across "
+             "--workers fleet daemons)")
     parser.add_argument(
         "--cache-path", dest="cache_path", default=None, metavar="FILE",
-        help="spill the simulation-stats cache to this JSONL file; an "
-             "existing file warm-starts the run, so repeated sweeps "
-             "skip already-measured configurations")
+        help="persist the simulation-stats cache to this file; a .sqlite/"
+             ".sqlite3/.db extension selects the shared WAL-mode tier "
+             "(concurrent sweeps and workers see each other's records "
+             "mid-run), anything else the append-only JSONL spill that "
+             "warm-starts repeated sweeps")
     parser.add_argument(
         "--max-workers", type=int, default=None, dest="max_workers",
         help="pool width for the thread/process executor backends")
+    parser.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="comma-separated fleet worker addresses for the remote "
+             "executor (start them with: repro worker --listen HOST:PORT); "
+             "implies --executor remote, retries dead workers' shards on "
+             "survivors, and falls back to inline execution when no "
+             "worker is reachable")
+
+
+def _print_fleet_report(engine) -> None:
+    """One-line fleet summary for runs on the remote backend.
+
+    ``fallback batches: 0`` is the proof that the fleet actually served
+    the run — the remote backend degrades to inline execution silently,
+    so scripted checks (CI's distributed smoke) gate on this line rather
+    than on results alone, which fallback would leave identical.
+    """
+    backend = engine.backend
+    if not hasattr(backend, "fallback_batches"):
+        return
+    print(f"fleet: {backend.fallback_batches} fallback batches, "
+          f"{backend.retried_shards} retried shards")
 
 
 def _print_cache_report(engine, cache_path: Optional[str]) -> None:
@@ -148,6 +189,7 @@ def _cmd_run(args) -> int:
         executor=args.executor,
         cache_path=args.cache_path,
         max_workers=args.max_workers,
+        workers=_parse_workers(args.workers),
     )
     stats = run_layers(_zoo_layers(args.model), session)
     print(stats_table(stats))
@@ -155,6 +197,7 @@ def _cmd_run(args) -> int:
         total = sum(attach_energy(s).energy for s in stats)
         print(f"total energy: {total:,.0f} MAC-units")
     _print_cache_report(session.engine, args.cache_path)
+    _print_fleet_report(session.engine)
     session.engine.close()
     return 0
 
@@ -201,6 +244,7 @@ def _cmd_tune(args) -> int:
     print(f"best mapping: {mapping.as_tuple()}")
     print(f"best {args.objective}: {result.best_cost:,.0f}")
     _print_cache_report(engine, args.cache_path)
+    _print_fleet_report(engine)
     engine.close()
     if args.log:
         result.records.save_jsonl(args.log)
@@ -246,13 +290,64 @@ def _cmd_compare(args) -> int:
         )
     print(comparison_table(rows, ["default", "AutoTVM", "mRNA"]))
     _print_cache_report(engine, args.cache_path)
+    _print_fleet_report(engine)
     engine.close()
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.fleet.worker import serve
+
+    return serve(args.listen, cache_path=args.cache_path, quiet=args.quiet)
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine import make_stats_cache
+
+    if args.cache_command == "compact":
+        import os.path
+
+        if not os.path.exists(args.path):
+            # make_stats_cache would create an empty cache here, turning
+            # a typo'd path into a silent no-op success.
+            print(f"error: no cache file at {args.path!r}", file=sys.stderr)
+            return 2
+        cache = make_stats_cache(args.path)
+        try:
+            kept, dropped = cache.compact()
+        finally:
+            cache.close()
+        print(f"compacted {args.path}: {kept} live records kept, "
+              f"{dropped} superseded/corrupt lines dropped")
+        return 0
+    print(f"error: unknown cache command {args.cache_command!r}",
+          file=sys.stderr)
+    return 2
+
+
+#: --help epilog: the distributed workflow in one screen.
+FLEET_EPILOG = """\
+distributed sweeps:
+  Start one worker daemon per machine (or core group):
+      repro worker --listen 0.0.0.0:9461 --cache-path shared.sqlite
+  then point any run/tune/compare at the fleet:
+      repro tune alexnet conv1 --objective cycles \\
+          --workers hostA:9461,hostB:9461 --cache-path sweep.sqlite
+  The remote executor shards each evaluation batch across the workers,
+  retries dead workers' shards on survivors, and falls back to inline
+  execution when no worker is reachable — results are bit-identical to
+  --executor serial.  A shared .sqlite cache path lets concurrent
+  sweeps and workers reuse each other's measurements mid-run; compact
+  long-lived JSONL spills with: repro cache compact PATH
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description="Bifrost reproduction CLI"
+        prog="repro",
+        description="Bifrost reproduction CLI",
+        epilog=FLEET_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -288,6 +383,33 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("model", choices=MODELS)
     _add_hw_args(compare)
     _add_engine_args(compare)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve simulation batches to remote executors (fleet daemon)",
+    )
+    worker.add_argument(
+        "--listen", default="127.0.0.1:9461", metavar="HOST:PORT",
+        help="address to bind (default 127.0.0.1:9461; port 0 picks a "
+             "free port)")
+    worker.add_argument(
+        "--cache-path", dest="cache_path", default=None, metavar="FILE",
+        help="local stats cache for the worker (use a shared .sqlite "
+             "path to pool discoveries with co-located workers)")
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress the startup banner")
+
+    cache = sub.add_parser(
+        "cache", help="maintain persistent stats caches"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite a cache keeping only live, deduplicated records "
+             "(JSONL: last write per key wins, corrupt lines dropped; "
+             "SQLite: VACUUM)",
+    )
+    compact.add_argument("path", help="cache file to compact")
     return parser
 
 
@@ -299,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "compare": _cmd_compare,
+        "worker": _cmd_worker,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

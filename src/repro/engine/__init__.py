@@ -79,13 +79,18 @@ from repro.engine.backends import (
     registered_backends,
     unregister_backend,
 )
-from repro.engine.cache import PersistentStatsCache, StatsCache
+from repro.engine.cache import (
+    PersistentStatsCache,
+    StatsCache,
+    make_stats_cache,
+)
 from repro.engine.evaluation import (
     EvalRequest,
     EvaluationEngine,
     evaluation_key,
     fingerprint_config,
 )
+from repro.engine.sqlite_cache import SqliteStatsCache
 
 __all__ = [
     "EvalRequest",
@@ -94,11 +99,13 @@ __all__ = [
     "PersistentStatsCache",
     "ProcessBackend",
     "SerialBackend",
+    "SqliteStatsCache",
     "StatsCache",
     "ThreadBackend",
     "evaluation_key",
     "fingerprint_config",
     "make_backend",
+    "make_stats_cache",
     "register_backend",
     "registered_backends",
     "unregister_backend",

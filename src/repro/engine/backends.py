@@ -295,6 +295,13 @@ def unregister_backend(name: str) -> None:
 def _ensure_builtin_backends() -> None:
     for cls in (SerialBackend, ThreadBackend, ProcessBackend):
         _REGISTRY.setdefault(cls.name, cls)
+    # The remote backend lives in repro.fleet (it drags in the wire
+    # protocol); importing it registers it, making "remote" a first-class
+    # registry citizen everywhere backends are listed or resolved.
+    try:
+        import repro.fleet.remote_backend  # noqa: F401  (import = register)
+    except ImportError:  # pragma: no cover - stripped-down installs only;
+        pass  # anything else (a real bug in fleet code) must surface
 
 
 def backend_class(name: str) -> Type[ExecutorBackend]:

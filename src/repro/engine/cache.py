@@ -197,6 +197,52 @@ class PersistentStatsCache(StatsCache):
             self._file.truncate(0)
             self._file.seek(0)
 
+    def compact(self) -> Tuple[int, int]:
+        """Rewrite the spill keeping only live, deduplicated records.
+
+        The spill is append-only, so a long-lived fleet cache accretes
+        duplicate lines (several processes measuring the same key) and
+        corrupt tails from crashes.  Compaction re-reads the file,
+        keeps the *last* record per key (records are deterministic, so
+        any survivor is correct), rewrites them to a temporary file and
+        atomically replaces the spill — a crash mid-compaction leaves
+        the original intact.  Safe to call on a live cache: the append
+        handle is reopened on the new file.
+
+        Returns:
+            ``(kept, dropped)`` line counts.
+        """
+        with self._lock:
+            self._file.flush()
+            live: "OrderedDict[str, str]" = OrderedDict()
+            total = 0
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    total += 1
+                    try:
+                        record = json.loads(line)
+                        encoded = json.dumps(record["key"], default=str)
+                        SimulationStats.from_dict(record["stats"])
+                    except (ValueError, KeyError, TypeError):
+                        continue  # corrupt line: dropped by compaction
+                    # Last write wins; re-append to keep file order stable.
+                    live.pop(encoded, None)
+                    live[encoded] = line
+            tmp_path = self.path.with_name(self.path.name + ".compact.tmp")
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for line in live.values():
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(tmp_path, self.path)
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._persisted = {_freeze(json.loads(k)) for k in live}
+            return len(live), total - len(live)
+
     def close(self) -> None:
         """Flush and close the spill file (the cache stays readable)."""
         if not self._file.closed:
@@ -214,3 +260,31 @@ class PersistentStatsCache(StatsCache):
             self.close()
         except Exception:
             pass
+
+
+# ----------------------------------------------------------------------
+# tier dispatch
+# ----------------------------------------------------------------------
+#: Path suffixes that select the shared SQLite tier.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def make_stats_cache(
+    path: Union[str, os.PathLike],
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+) -> StatsCache:
+    """The persistent cache tier for ``path``, dispatched by extension.
+
+    ``.sqlite``/``.sqlite3``/``.db`` paths get the shared
+    :class:`~repro.engine.sqlite_cache.SqliteStatsCache` (WAL mode —
+    concurrent processes see each other's inserts mid-sweep); anything
+    else gets the append-only JSONL :class:`PersistentStatsCache`
+    (warm start across runs).  This is the single rule behind the CLI's
+    ``--cache-path`` and the worker daemon's local cache.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix in SQLITE_SUFFIXES:
+        from repro.engine.sqlite_cache import SqliteStatsCache
+
+        return SqliteStatsCache(path, max_entries=max_entries)
+    return PersistentStatsCache(path, max_entries=max_entries)

@@ -1,0 +1,186 @@
+"""The shared SQLite stats-cache tier (WAL mode, fleet-safe).
+
+:class:`~repro.engine.cache.PersistentStatsCache` makes measurement
+history durable, but its JSONL spill is read once at open: two processes
+sharing one file only see each other's records across *runs*.  A fleet
+sweeping one design space wants more — when worker A measures a
+configuration, worker B should skip it *in the same sweep*.
+
+:class:`SqliteStatsCache` provides that: the in-memory LRU is a private
+L1, and every L1 miss falls through to a shared SQLite database opened in
+WAL mode (concurrent readers never block the single writer; writers
+queue on the file lock with a busy timeout).  Keys are the same
+content-addressed tuples as every other tier, serialized to canonical
+JSON text; values round-trip through
+:meth:`~repro.stonne.stats.SimulationStats.to_dict`.  Records are
+deterministic functions of their key, so ``INSERT OR REPLACE`` races
+between writers are harmless — both sides write identical bytes.
+
+Select it by extension: :func:`repro.engine.cache.make_stats_cache`
+returns this class for ``.sqlite``/``.sqlite3``/``.db`` paths and the
+JSONL tier otherwise, which is what the CLI's ``--cache-path`` does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Hashable, Optional, Tuple, Union
+
+from repro.engine.cache import DEFAULT_MAX_ENTRIES, StatsCache, _freeze
+from repro.stonne.stats import SimulationStats
+
+#: Seconds a writer waits on a locked database before giving up.
+BUSY_TIMEOUT_S = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS stats (
+    key   TEXT PRIMARY KEY,
+    stats TEXT NOT NULL
+)
+"""
+
+
+def encode_key(key: Hashable) -> str:
+    """Canonical JSON text of a content-addressed cache key.
+
+    Keys are tuples of scalars and nested tuples (see
+    :func:`repro.engine.evaluation.evaluation_key`); tuples serialize as
+    JSON arrays, deterministically, so the text form is itself
+    content-addressed.
+    """
+    return json.dumps(key, default=str)
+
+
+def decode_key(text: str) -> Hashable:
+    """Invert :func:`encode_key` (JSON arrays frozen back to tuples)."""
+    return _freeze(json.loads(text))
+
+
+class SqliteStatsCache(StatsCache):
+    """A :class:`StatsCache` backed by a shared WAL-mode SQLite database.
+
+    The in-memory LRU is a per-process L1; the database is the shared
+    tier.  ``get`` consults L1 first and falls through to the database on
+    a miss, so inserts from *other* processes become visible mid-sweep
+    without any refresh protocol.  ``put`` writes both tiers and commits
+    immediately — one simulation result is one durable transaction.
+
+    Args:
+        path: The database file; created (with parents) when missing.
+        max_entries: L1 LRU bound, as for :class:`StatsCache`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        super().__init__(max_entries=max_entries)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One connection per cache instance, shared across the engine's
+        # worker threads under the cache lock (SQLite serializes anyway;
+        # the lock also protects the LRU and the counters).
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=BUSY_TIMEOUT_S, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[SimulationStats]:
+        """L1 first, then the shared database; a database hit warms L1."""
+        with self._lock:
+            record = self._records.get(key)
+            if record is not None:
+                self._records.move_to_end(key)
+                self.hits += 1
+                return record.clone()
+            row = self._conn.execute(
+                "SELECT stats FROM stats WHERE key = ?", (encode_key(key),)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            stats = SimulationStats.from_dict(json.loads(row[0]))
+            self._records[key] = stats
+            self._records.move_to_end(key)
+            while len(self._records) > self.max_entries:
+                self._records.popitem(last=False)
+            self.hits += 1
+            return stats.clone()
+
+    def put(self, key: Hashable, stats: SimulationStats) -> None:
+        """Write both tiers; the database commit makes the record visible
+        to every other process sharing the file immediately."""
+        with self._lock:
+            self._records[key] = stats.clone()
+            self._records.move_to_end(key)
+            while len(self._records) > self.max_entries:
+                self._records.popitem(last=False)
+            self._conn.execute(
+                "INSERT OR REPLACE INTO stats (key, stats) VALUES (?, ?)",
+                (encode_key(key), json.dumps(stats.to_dict(), default=str)),
+            )
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        if key in self._records:
+            return True
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM stats WHERE key = ?", (encode_key(key),)
+            ).fetchone()
+        return row is not None
+
+    def disk_entries(self) -> int:
+        """Number of records in the shared database tier."""
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM stats").fetchone()[0]
+
+    def clear(self) -> None:
+        """Drop both tiers (affects every process sharing the file)."""
+        with self._lock:
+            self._records.clear()
+            self.hits = 0
+            self.misses = 0
+            self._conn.execute("DELETE FROM stats")
+            self._conn.commit()
+
+    def compact(self) -> Tuple[int, int]:
+        """Reclaim free pages (VACUUM).  SQLite keys are primary keys, so
+        there are no duplicate records to drop — returns (live, 0) for
+        symmetry with :meth:`PersistentStatsCache.compact`."""
+        with self._lock:
+            live = self._conn.execute("SELECT COUNT(*) FROM stats").fetchone()[0]
+            self._conn.commit()
+            self._conn.execute("VACUUM")
+        return live, 0
+
+    def close(self) -> None:
+        """Commit and close the database connection (idempotent)."""
+        with self._lock:
+            if not self._closed:
+                self._conn.commit()
+                self._conn.close()
+                self._closed = True
+
+    def __enter__(self) -> "SqliteStatsCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort close on GC
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,315 @@
+"""The fleet wire protocol: length-prefixed JSON frames.
+
+Every message between a :class:`~repro.fleet.remote_backend.RemoteBackend`
+client and a :class:`~repro.fleet.worker.FleetWorker` daemon is one
+*frame*: a 4-byte big-endian payload length followed by that many bytes
+of UTF-8 JSON.  Framing is the entire transport contract — JSON keeps
+the protocol debuggable with ``nc`` and version-tolerant (unknown keys
+are ignored), and the length prefix makes truncation detectable: a
+stream that ends mid-frame raises :class:`ProtocolError` instead of
+silently yielding a partial batch.
+
+Message vocabulary (the ``type`` field):
+
+* ``hello`` — sent by the worker on accept: protocol version, pid, and
+  the controller types it can rebuild (capabilities);
+* ``evaluate_batch`` — client request: an engine spec (fingerprint +
+  config/params/controller type + functional flag) and a list of
+  ``(pos, key, layer, mapping)`` items;
+* ``results`` — worker response: per-item ``(pos, key, stats)`` or
+  ``(pos, error, error_type)`` entries, submission order preserved;
+* ``ping``/``pong`` — heartbeat;
+* ``bye`` — polite client disconnect.
+
+Everything that crosses the wire is *structural*: layers and mappings
+are dataclasses of plain scalars, cache keys are tuples of scalars
+(JSON arrays on the wire, frozen back to tuples on arrival — the same
+round-trip the JSONL cache tier uses), and the engine spec rebuilds a
+bit-identical controller because
+:func:`~repro.engine.evaluation.fingerprint_config` is recomputed and
+verified on the worker side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import asdict
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ReproError, SimulationError
+from repro.stonne.layer import ConvLayer, FcLayer, GemmLayer
+from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.params import CycleModelParams
+from repro.stonne.stats import SimulationStats
+
+#: Protocol version; bumped on incompatible frame/message changes.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload.  A generation-sized batch of
+#: conv layers is a few hundred kilobytes; anything near this bound is a
+#: corrupt or hostile length prefix, not a real batch.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """A malformed, truncated or oversized fleet protocol frame."""
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON payload."""
+    payload = json.dumps(message, default=str).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Tuple[Dict[str, Any], bytes]:
+    """Decode one complete frame from ``data``; returns (message, rest).
+
+    Raises :class:`ProtocolError` when ``data`` holds a truncated frame
+    or an oversized length prefix.  (Socket paths use
+    :func:`recv_message`; this byte-level form is for tests and for
+    buffering transports.)
+    """
+    if len(data) < _LENGTH.size:
+        raise ProtocolError(
+            f"truncated frame: {len(data)} bytes is shorter than the "
+            f"{_LENGTH.size}-byte length prefix"
+        )
+    (length,) = _LENGTH.unpack(data[: _LENGTH.size])
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            f"protocol limit"
+        )
+    end = _LENGTH.size + length
+    if len(data) < end:
+        raise ProtocolError(
+            f"truncated frame: payload needs {length} bytes, got "
+            f"{len(data) - _LENGTH.size}"
+        )
+    try:
+        message = json.loads(data[_LENGTH.size : end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message, data[end:]
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF at offset 0."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None  # clean EOF between frames
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one message as a single frame."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one message; None when the peer closed between frames."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            f"protocol limit"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:  # EOF exactly after the prefix
+        raise ProtocolError("connection closed mid-frame (after length prefix)")
+    message, rest = decode_frame(prefix + payload)
+    assert not rest
+    return message
+
+
+# ----------------------------------------------------------------------
+# structural (de)serialization
+# ----------------------------------------------------------------------
+_LAYER_KINDS = {
+    "ConvLayer": ConvLayer,
+    "FcLayer": FcLayer,
+    "GemmLayer": GemmLayer,
+}
+_MAPPING_KINDS = {"ConvMapping": ConvMapping, "FcMapping": FcMapping}
+
+
+def layer_to_wire(layer) -> Dict[str, Any]:
+    return {"kind": type(layer).__name__, "fields": asdict(layer)}
+
+
+def layer_from_wire(data: Dict[str, Any]):
+    try:
+        cls = _LAYER_KINDS[data["kind"]]
+        return cls(**data["fields"])
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed wire layer {data!r}: {exc}") from exc
+
+
+def mapping_to_wire(mapping) -> Optional[Dict[str, Any]]:
+    if mapping is None:
+        return None
+    return {"kind": type(mapping).__name__, "fields": asdict(mapping)}
+
+
+def mapping_from_wire(data: Optional[Dict[str, Any]]):
+    if data is None:
+        return None
+    try:
+        cls = _MAPPING_KINDS[data["kind"]]
+        return cls(**data["fields"])
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed wire mapping {data!r}: {exc}") from exc
+
+
+def key_from_wire(key):
+    """Freeze a JSON-decoded cache key back into nested tuples."""
+    from repro.engine.cache import _freeze
+
+    return _freeze(key)
+
+
+def engine_spec(engine) -> Dict[str, Any]:
+    """The serializable description a worker needs to rebuild ``engine``'s
+    controller: config, params, controller type and the fingerprint the
+    rebuild must reproduce.
+
+    Raises :class:`ProtocolError` for engines whose config cannot cross
+    the wire (duck-typed mocks without ``to_dict``) — callers treat that
+    as "not remotable" and fall back to local execution.
+    """
+    config = engine.config
+    if not hasattr(config, "to_dict"):
+        raise ProtocolError(
+            f"engine config {type(config).__name__} has no to_dict(); "
+            f"only real SimulatorConfigs can be shipped to fleet workers"
+        )
+    return {
+        "fingerprint": engine.fingerprint,
+        "controller_type": str(
+            getattr(config.controller_type, "value", config.controller_type)
+        ),
+        "config": config.to_dict(),
+        "params": asdict(engine.params),
+        "functional": bool(engine.functional),
+    }
+
+
+def rebuild_controller(spec: Dict[str, Any]):
+    """(controller, params, functional) rebuilt from an engine spec.
+
+    The controller class is resolved through the registry and the
+    fingerprint recomputed; a mismatch (version skew, foreign controller
+    registration) raises :class:`ProtocolError` rather than silently
+    producing stats under the wrong cache identity.
+    """
+    from repro.engine.evaluation import fingerprint_config
+    from repro.stonne.config import SimulatorConfig
+    from repro.stonne.controller import controller_class
+
+    try:
+        config = SimulatorConfig.from_dict(spec["config"])
+        params = CycleModelParams(**spec["params"])
+        cls = controller_class(spec["controller_type"])
+    except (KeyError, TypeError, ReproError) as exc:
+        raise ProtocolError(f"cannot rebuild engine spec: {exc}") from exc
+    fingerprint = fingerprint_config(config, params, cls)
+    if fingerprint != spec.get("fingerprint"):
+        raise ProtocolError(
+            f"engine fingerprint mismatch: client sent "
+            f"{spec.get('fingerprint')!r}, worker rebuilt {fingerprint!r} "
+            f"(version or registration skew between fleet peers)"
+        )
+    return cls(config, params), params, bool(spec.get("functional", False))
+
+
+# ----------------------------------------------------------------------
+# message builders
+# ----------------------------------------------------------------------
+def hello_message(capabilities: List[str], pid: int) -> Dict[str, Any]:
+    return {
+        "type": "hello",
+        "version": PROTOCOL_VERSION,
+        "pid": pid,
+        "capabilities": sorted(capabilities),
+    }
+
+
+def evaluate_batch_message(
+    spec: Dict[str, Any],
+    items: List[Tuple[int, Optional[Hashable], Any, Any]],
+) -> Dict[str, Any]:
+    """An ``evaluate_batch`` request for (pos, key, layer, mapping) items."""
+    return {
+        "type": "evaluate_batch",
+        "version": PROTOCOL_VERSION,
+        "spec": spec,
+        "items": [
+            {
+                "pos": pos,
+                "key": key,
+                "layer": layer_to_wire(layer),
+                "mapping": mapping_to_wire(mapping),
+            }
+            for pos, key, layer, mapping in items
+        ],
+    }
+
+
+def results_message(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    return {"type": "results", "items": entries}
+
+
+def error_message(error: Exception) -> Dict[str, Any]:
+    """A batch-fatal error response (spec rebuild failures etc.)."""
+    return {
+        "type": "error",
+        "error": str(error),
+        "error_type": type(error).__name__,
+    }
+
+
+def exception_from_wire(entry: Dict[str, Any]) -> Exception:
+    """Rebuild a worker-side exception from its wire form.
+
+    Known :mod:`repro.errors` classes round-trip by name so callers'
+    ``isinstance`` checks (e.g. the tuner pricing ``MappingError`` as an
+    invalid config) behave exactly as with local execution; anything
+    else degrades to :class:`SimulationError`.
+    """
+    import repro.errors as errors_module
+
+    name = entry.get("error_type", "")
+    message = entry.get("error", "remote evaluation failed")
+    cls = getattr(errors_module, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return SimulationError(f"remote worker error ({name}): {message}")

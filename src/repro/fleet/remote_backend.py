@@ -1,0 +1,347 @@
+"""The ``remote`` executor backend: fan a miss batch out across workers.
+
+:class:`RemoteBackend` is an :class:`~repro.engine.backends.ExecutorBackend`
+registered as ``"remote"``, so the whole existing measurement path —
+``Tuner.tune`` → ``TuningTask.measure_batch`` →
+``EvaluationEngine.evaluate_many`` — fans a GA generation out across
+machines with zero changes to the tuner: the engine still splits hits
+from misses, and only the misses travel.
+
+Execution model per batch:
+
+* the batch is sharded round-robin across the configured workers
+  (``host:port`` addresses — constructor argument, CLI ``--workers``,
+  or the ``REPRO_FLEET_WORKERS`` environment variable);
+* shards run concurrently on one client thread per worker, over
+  persistent connections (the hello handshake is paid once per worker,
+  controller rebuilds once per engine fingerprint per worker);
+* a shard whose worker dies mid-batch is *retried* on the surviving
+  workers, in shard-sized pieces, so one crash costs one round trip,
+  not the sweep;
+* when no worker is reachable — or the engine is not remotable (mock
+  configs) — the shard falls back to inline serial execution, so
+  ``--executor remote`` degrades to ``--executor serial`` instead of
+  failing a run.
+
+Per-item errors (invalid mappings and friends) are captured exception
+entries, exactly like every other backend; worker-side
+:mod:`repro.errors` types round-trip by name so callers' ``isinstance``
+checks keep working across the wire.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.backends import (
+    ExecutorBackend,
+    WorkItem,
+    WorkResult,
+    _simulate_item,
+    register_backend,
+)
+from repro.fleet import protocol
+from repro.fleet.worker import parse_address
+
+#: Environment variable naming the default worker pool
+#: (comma-separated ``host:port`` list).
+WORKERS_ENV = "REPRO_FLEET_WORKERS"
+
+#: Seconds to wait for a worker connection before declaring it dead.
+CONNECT_TIMEOUT_S = 5.0
+
+#: Seconds to wait for a shard's results.  Generous: a shard is many
+#: simulations; this bound only catches hung peers, not slow ones.
+BATCH_TIMEOUT_S = 600.0
+
+
+def _env_workers() -> List[str]:
+    raw = os.environ.get(WORKERS_ENV, "")
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+class _WorkerLink:
+    """One persistent connection to one worker, used by one client thread
+    at a time (the per-link lock covers retries landing on a survivor
+    that is mid-shard)."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self.hello: Optional[dict] = None
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=CONNECT_TIMEOUT_S
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(BATCH_TIMEOUT_S)
+            hello = protocol.recv_message(sock)
+            if not hello or hello.get("type") != "hello":
+                sock.close()
+                raise protocol.ProtocolError(
+                    f"worker {self.address} did not say hello"
+                )
+            if hello.get("version") != protocol.PROTOCOL_VERSION:
+                sock.close()
+                raise protocol.ProtocolError(
+                    f"worker {self.address} speaks protocol version "
+                    f"{hello.get('version')}, client speaks "
+                    f"{protocol.PROTOCOL_VERSION}"
+                )
+            self.hello = hello
+            self._sock = sock
+        return self._sock
+
+    def request(self, message: dict) -> dict:
+        """One request/response round trip (connecting if needed)."""
+        with self.lock:
+            sock = self._connect()
+            try:
+                protocol.send_message(sock, message)
+                response = protocol.recv_message(sock)
+            except (OSError, protocol.ProtocolError):
+                self.drop()
+                raise
+            if response is None:
+                self.drop()
+                raise protocol.ProtocolError(
+                    f"worker {self.address} closed the connection mid-request"
+                )
+            return response
+
+    def drop(self) -> None:
+        """Forget the connection (next request reconnects or fails)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self.hello = None
+
+    def close(self) -> None:
+        with self.lock:
+            if self._sock is not None:
+                try:
+                    protocol.send_message(self._sock, {"type": "bye"})
+                except (OSError, protocol.ProtocolError):
+                    pass
+            self.drop()
+
+
+@register_backend("remote")
+class RemoteBackend(ExecutorBackend):
+    """Ship cache-miss batches to fleet workers over the wire protocol.
+
+    Args:
+        workers: ``host:port`` addresses.  When omitted, resolved from
+            the :data:`WORKERS_ENV` environment variable at run time, so
+            a sweep script can be pointed at a fleet without code
+            changes.
+        max_workers: Accepted for registry-constructor uniformity;
+            parallelism is one client thread per *remote* worker.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Union[Sequence[str], str, None] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if isinstance(workers, str):
+            workers = [part.strip() for part in workers.split(",") if part.strip()]
+        self._configured = list(workers) if workers else None
+        self.max_workers = max_workers
+        self._links: Dict[str, _WorkerLink] = {}
+        self._links_lock = threading.Lock()
+        #: Batches (shards) that fell back to inline serial execution.
+        self.fallback_batches = 0
+        #: Shards retried on a surviving worker after a peer died.
+        self.retried_shards = 0
+
+    # ------------------------------------------------------------------
+    def _addresses(self) -> List[str]:
+        return list(self._configured) if self._configured else _env_workers()
+
+    def _link(self, address: str) -> _WorkerLink:
+        with self._links_lock:
+            link = self._links.get(address)
+            if link is None:
+                link = _WorkerLink(address)
+                self._links[address] = link
+            return link
+
+    # ------------------------------------------------------------------
+    def run(self, engine, items, max_workers=None):
+        addresses = self._addresses()
+        if not items:
+            return []
+        try:
+            spec = protocol.engine_spec(engine)
+        except protocol.ProtocolError:
+            spec = None  # not remotable (mock config); run inline
+        if not addresses or spec is None:
+            self.fallback_batches += 1
+            return [_simulate_item(engine, item) for item in items]
+
+        # Round-robin sharding, one shard per configured worker; strided
+        # like the process backend so shard sizes stay balanced.
+        indexed = [
+            (position, key, request.layer, request.mapping)
+            for position, (key, request) in enumerate(items)
+        ]
+        shards = [indexed[i :: len(addresses)] for i in range(len(addresses))]
+        pairs = [
+            (address, shard)
+            for address, shard in zip(addresses, shards)
+            if shard
+        ]
+        results: List[Optional[WorkResult]] = [None] * len(items)
+        with ThreadPoolExecutor(max_workers=len(pairs)) as pool:
+            shard_outcomes = pool.map(
+                lambda pair: self._run_shard(
+                    engine, spec, pair[1], preferred=pair[0],
+                    all_addresses=addresses,
+                ),
+                pairs,
+            )
+            for outcome in shard_outcomes:
+                for position, result in outcome:
+                    results[position] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_shard(
+        self,
+        engine,
+        spec: dict,
+        shard: List[Tuple],
+        preferred: str,
+        all_addresses: List[str],
+    ) -> List[Tuple[int, WorkResult]]:
+        """Execute one shard: preferred worker, then survivors, then inline.
+
+        Returns (position, (key, stats-or-exception)) pairs.
+        """
+        by_pos = {position: (key, layer, mapping)
+                  for position, key, layer, mapping in shard}
+        candidates = [preferred] + [a for a in all_addresses if a != preferred]
+        message = protocol.evaluate_batch_message(spec, shard)
+        for attempt, address in enumerate(candidates):
+            try:
+                response = self._link(address).request(message)
+            except (OSError, protocol.ProtocolError):
+                continue  # worker dead/unreachable; try a survivor
+            if response.get("type") == "error":
+                # Batch-fatal worker refusal (fingerprint/spec skew):
+                # retrying elsewhere cannot help less, but inline can.
+                break
+            if response.get("type") != "results":
+                continue
+            if attempt > 0:
+                self.retried_shards += 1
+            return self._decode_results(engine, response, by_pos)
+        # No worker produced results: inline serial fallback.
+        self.fallback_batches += 1
+        return [
+            (
+                position,
+                _simulate_item(
+                    engine,
+                    (key, _Request(layer, mapping)),
+                ),
+            )
+            for position, (key, layer, mapping) in (
+                (p, by_pos[p]) for p in sorted(by_pos)
+            )
+        ]
+
+    @staticmethod
+    def _decode_results(engine, response: dict, by_pos: dict):
+        from repro.stonne.stats import SimulationStats
+
+        out: List[Tuple[int, WorkResult]] = []
+        seen = set()
+        for entry in response.get("items", []):
+            position = entry.get("pos")
+            if position not in by_pos or position in seen:
+                continue  # unknown or duplicate position: ignore
+            key = by_pos[position][0]
+            if "stats" in entry:
+                try:
+                    stats = SimulationStats.from_dict(entry["stats"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # undecodable entry: leave it for the
+                    # inline remainder pass below (skewed peer)
+                seen.add(position)
+                out.append((position, (key, stats)))
+            else:
+                seen.add(position)
+                out.append(
+                    (position, (key, protocol.exception_from_wire(entry)))
+                )
+        # A worker that dropped items (foreign/buggy peer) still owes the
+        # engine answers: simulate the remainder inline.
+        for position in sorted(set(by_pos) - seen):
+            key, layer, mapping = by_pos[position]
+            out.append(
+                (position, _simulate_item(engine, (key, _Request(layer, mapping))))
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, bool]:
+        """Reachability of every configured worker (health checks)."""
+        status: Dict[str, bool] = {}
+        for address in self._addresses():
+            try:
+                response = self._link(address).request({"type": "ping"})
+                status[address] = response.get("type") == "pong"
+            except (OSError, protocol.ProtocolError):
+                status[address] = False
+        return status
+
+    def close(self) -> None:
+        with self._links_lock:
+            for link in self._links.values():
+                link.close()
+            self._links.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteBackend(workers={self._addresses()!r})"
+
+
+def resolve_executor(
+    executor,
+    workers: Union[Sequence[str], str, None] = None,
+    max_workers: Optional[int] = None,
+):
+    """The executor an engine should use given an optional fleet.
+
+    A non-empty ``workers`` list (or comma-separated string) implies the
+    remote backend unless a *different* executor is explicitly named —
+    the single rule shared by the CLI's ``--workers`` flag and
+    ``make_session(workers=...)``, so the two can never diverge.
+    """
+    if workers and executor in (None, "remote"):
+        return RemoteBackend(workers=workers, max_workers=max_workers)
+    return executor
+
+
+class _Request:
+    """Minimal EvalRequest stand-in for inline fallback simulation."""
+
+    __slots__ = ("layer", "mapping")
+
+    def __init__(self, layer, mapping) -> None:
+        self.layer = layer
+        self.mapping = mapping

@@ -1,0 +1,240 @@
+"""The fleet worker daemon: a TCP service that executes simulation batches.
+
+One worker process serves many client connections (one handler thread
+per connection, the same accept model as the engine's thread backend).
+Per connection the dialogue is: worker sends ``hello`` (protocol
+version + the controller types it can rebuild), then loops serving
+``evaluate_batch`` requests and ``ping`` heartbeats until the client
+says ``bye`` or disconnects.
+
+Controllers are rebuilt once per engine fingerprint and cached for the
+daemon's lifetime — the same amortization the process backend's workers
+use (:func:`repro.engine.backends._process_chunk`), lifted across
+machine boundaries.  Rebuilds are *verified*: the worker recomputes the
+fingerprint from the shipped (config, params, controller) and refuses
+batches whose fingerprint does not match, so version skew between fleet
+peers fails loudly instead of corrupting content-addressed caches.
+
+A worker may also carry a local stats cache (typically the shared
+SQLite tier, so co-located workers pool their discoveries): batch items
+whose key is already cached skip the simulation entirely, and fresh
+results are stored before they are shipped back.
+
+Run it as a daemon with ``repro worker --listen HOST:PORT`` or embed it
+with :func:`start_worker` (tests, benchmarks, notebooks).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import socketserver
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.engine.backends import simulate_layer
+from repro.engine.cache import StatsCache
+from repro.fleet import protocol
+from repro.stonne.controller import registered_controller_types
+
+
+def parse_address(text: str, default_port: int = 0) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``HOST``) into an address tuple."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        return text or "127.0.0.1", default_port
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise protocol.ProtocolError(
+            f"invalid worker address {text!r}; expected HOST:PORT"
+        ) from None
+
+
+class _FleetRequestHandler(socketserver.BaseRequestHandler):
+    """One client connection: hello, then a request/response loop."""
+
+    def setup(self) -> None:
+        # Batches are latency-sensitive small frames; don't Nagle them.
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def handle(self) -> None:
+        server: FleetWorker = self.server  # type: ignore[assignment]
+        protocol.send_message(
+            self.request,
+            protocol.hello_message(registered_controller_types(), os.getpid()),
+        )
+        while True:
+            try:
+                message = protocol.recv_message(self.request)
+            except (protocol.ProtocolError, OSError):
+                return  # client vanished or spoke garbage; drop the line
+            if message is None or message.get("type") == "bye":
+                return
+            kind = message.get("type")
+            if kind == "ping":
+                protocol.send_message(self.request, {"type": "pong"})
+            elif kind == "evaluate_batch":
+                protocol.send_message(self.request, server.execute_batch(message))
+            else:
+                protocol.send_message(
+                    self.request,
+                    protocol.error_message(
+                        protocol.ProtocolError(f"unknown message type {kind!r}")
+                    ),
+                )
+
+
+class FleetWorker(socketserver.ThreadingTCPServer):
+    """The daemon: a threading TCP server plus the simulation state.
+
+    Args:
+        address: ``(host, port)`` to bind; port 0 picks a free port
+            (read :attr:`port` after construction).
+        cache: Optional local stats cache consulted/populated around
+            every simulation.  Use the SQLite tier to share it with
+            co-located workers and sweep drivers.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        cache: Optional[StatsCache] = None,
+    ) -> None:
+        super().__init__(address, _FleetRequestHandler)
+        self.cache = cache
+        self.batches_served = 0
+        self.items_served = 0
+        #: Rebuilt controllers keyed by engine fingerprint, with the
+        #: functional flag they were shipped with.
+        self._controllers: Dict[str, Tuple[object, bool]] = {}
+        self._controller_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def _controller_for(self, spec) -> Tuple[object, bool]:
+        fingerprint = spec.get("fingerprint")
+        with self._controller_lock:
+            entry = self._controllers.get(fingerprint)
+            if entry is None:
+                controller, _, functional = protocol.rebuild_controller(spec)
+                entry = (controller, functional)
+                self._controllers[fingerprint] = entry
+            return entry
+
+    def execute_batch(self, message) -> Dict:
+        """The ``results`` (or batch-fatal ``error``) for one request.
+
+        Per-item failures are captured as error entries — one invalid
+        mapping must not poison a shard, mirroring the executor-backend
+        contract.  Only a spec that cannot be rebuilt fails the batch.
+        """
+        try:
+            controller, functional = self._controller_for(message.get("spec", {}))
+        except protocol.ProtocolError as exc:
+            return protocol.error_message(exc)
+        entries = []
+        for item in message.get("items", []):
+            pos = item.get("pos")
+            try:
+                layer = protocol.layer_from_wire(item["layer"])
+                mapping = protocol.mapping_from_wire(item.get("mapping"))
+                key = protocol.key_from_wire(item.get("key"))
+                stats = self.cache.get(key) if (
+                    self.cache is not None and key is not None
+                ) else None
+                if stats is None:
+                    # One controller per fingerprint, many handler
+                    # threads: cycle-model tallies must not race.
+                    with self._controller_lock:
+                        stats = simulate_layer(
+                            controller, layer, mapping, functional
+                        )
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, stats)
+                else:
+                    stats.layer_name = layer.name
+                entries.append({"pos": pos, "stats": stats.to_dict()})
+            except Exception as exc:
+                entries.append(
+                    {
+                        "pos": pos,
+                        "error": str(exc),
+                        "error_type": type(exc).__name__,
+                    }
+                )
+        self.batches_served += 1
+        self.items_served += len(entries)
+        return protocol.results_message(entries)
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self.shutdown()
+        self.server_close()
+
+
+def start_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache: Optional[StatsCache] = None,
+) -> Tuple[FleetWorker, threading.Thread]:
+    """Start a worker serving in a daemon thread; returns (worker, thread).
+
+    The embeddable form used by tests and benchmarks: bind (port 0 for
+    an ephemeral port), serve until :meth:`FleetWorker.close`.
+    """
+    worker = FleetWorker((host, port), cache=cache)
+    thread = threading.Thread(
+        target=worker.serve_forever,
+        name=f"fleet-worker-{worker.port}",
+        daemon=True,
+    )
+    thread.start()
+    return worker, thread
+
+
+def serve(
+    listen: str,
+    cache_path: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    """Blocking daemon entry point behind ``repro worker``.
+
+    Serves until interrupted; returns a process exit code.
+    """
+    from repro.engine.cache import make_stats_cache
+
+    host, port = parse_address(listen, default_port=9461)
+    cache = make_stats_cache(cache_path) if cache_path else None
+    worker = FleetWorker((host, port), cache=cache)
+    if not quiet:
+        print(
+            f"fleet worker pid {os.getpid()} listening on {worker.address} "
+            f"(controllers: {', '.join(registered_controller_types())}; "
+            f"cache: {cache_path or 'none'})",
+            flush=True,
+        )
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.server_close()
+        if cache is not None and hasattr(cache, "close"):
+            cache.close()
+    return 0

@@ -17,6 +17,8 @@ members of the :class:`ControllerType` enum yet.
 
 from __future__ import annotations
 
+import functools
+from dataclasses import replace as _dataclass_replace
 from typing import Callable, ClassVar, Dict, FrozenSet, List, Optional, Type, Union
 
 from repro.errors import ConfigError, UnsupportedLayerError
@@ -32,6 +34,75 @@ ControllerKey = Union[ControllerType, str]
 
 def _key(controller_type: ControllerKey) -> str:
     return str(getattr(controller_type, "value", controller_type))
+
+
+# ----------------------------------------------------------------------
+# batch-N modelling
+# ----------------------------------------------------------------------
+#: Controller methods that receive a (layer, mapping) pair and are
+#: transparently batch-expanded by :meth:`AcceleratorController.__init_subclass__`.
+_BATCH_AWARE_METHODS = (
+    "run_conv",
+    "run_fc",
+    "estimate_conv_psums",
+    "estimate_fc_psums",
+)
+
+
+def _batch_count(layer) -> int:
+    """How many sequential single-batch executions ``layer`` needs."""
+    if isinstance(layer, ConvLayer):
+        return layer.N
+    if isinstance(layer, FcLayer):
+        return layer.batch
+    return 1
+
+
+def _single_batch(layer):
+    """The N=1 replica of a batched layer (name and shape preserved)."""
+    if isinstance(layer, ConvLayer):
+        return _dataclass_replace(layer, N=1)
+    return _dataclass_replace(layer, batch=1)
+
+
+def _sequential_batches(method):
+    """Wrap a (layer, mapping) controller method with batch-N expansion.
+
+    The hardware executes one batch element at a time (STONNE's N==1),
+    and every cycle model is deterministic, so a batch-N workload is
+    exactly N identical sequential simulations: the wrapped method runs
+    the N=1 replica once and the result is scaled — additive stats sum,
+    occupancy takes the max (see :meth:`SimulationStats.repeated`).
+    Psum *estimates* (plain ints) scale the same way, keeping the cheap
+    tuning proxy consistent with the full model for batched layers.
+    """
+    if getattr(method, "_batch_expanded", False):  # pragma: no cover
+        return method
+
+    @functools.wraps(method)
+    def wrapper(self, layer, mapping=None):
+        count = _batch_count(layer)
+        if count == 1:
+            return method(self, layer, mapping)
+        if mapping is not None and getattr(mapping, "T_N", 1) != 1:
+            # Batch-parallel spatial schedules (T_N > 1) are not modelled
+            # yet (see ROADMAP "Tiled batch schedules"); fail with the
+            # real reason instead of "T_N exceeds batch=1" from the
+            # single-batch replica's validation.
+            from repro.errors import MappingError
+
+            raise MappingError(
+                f"T_N={mapping.T_N} batch-parallel mappings are not "
+                f"modelled; batch-N layers run as N sequential "
+                f"simulations with T_N=1 (layer {layer.name!r}, N={count})"
+            )
+        outcome = method(self, _single_batch(layer), mapping)
+        if isinstance(outcome, SimulationStats):
+            return outcome.repeated(count, layer_name=layer.name)
+        return outcome * count
+
+    wrapper._batch_expanded = True
+    return wrapper
 
 
 class AcceleratorController:
@@ -54,6 +125,20 @@ class AcceleratorController:
     workloads: ClassVar[FrozenSet[str]] = frozenset({"conv", "fc", "gemm"})
     requires_mapping: ClassVar[bool] = False
     consumes_sparsity: ClassVar[bool] = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Give every concrete controller batch-N semantics for free.
+
+        Subclasses implement their cycle models for the single-batch
+        case STONNE actually executes; any :data:`_BATCH_AWARE_METHODS`
+        they define is wrapped so a batch-N layer runs as N sequential
+        single-batch simulations with summed stats.  The models
+        themselves never see ``N > 1``.
+        """
+        super().__init_subclass__(**kwargs)
+        for name in _BATCH_AWARE_METHODS:
+            if name in cls.__dict__:
+                setattr(cls, name, _sequential_batches(cls.__dict__[name]))
 
     @classmethod
     def supports(cls, workload: str) -> bool:

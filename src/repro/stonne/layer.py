@@ -3,8 +3,10 @@
 The convolution parameters follow the Nvidia taxonomy used by the paper
 (Table II): ``N`` batch, ``C`` input channels, ``H``/``W`` input rows/cols,
 ``K`` output channels, ``R``/``S`` filter rows/cols, ``G`` groups,
-``P``/``Q`` output rows/cols, plus padding and strides.  STONNE only
-supports ``N == 1`` and we enforce the same restriction.
+``P``/``Q`` output rows/cols, plus padding and strides.  STONNE itself
+only executes ``N == 1``; batch-N descriptors are accepted here and
+modelled by the controllers as N sequential single-batch simulations
+(see :meth:`repro.stonne.stats.SimulationStats.repeated`).
 """
 
 from __future__ import annotations
@@ -52,10 +54,6 @@ class ConvLayer:
             _check_positive(attr, getattr(self, attr))
         for attr in ("pad_h", "pad_w"):
             _check_non_negative(attr, getattr(self, attr))
-        if self.N != 1:
-            raise LayerError(
-                f"STONNE only supports batch size 1, got N={self.N} for layer {self.name!r}"
-            )
         if self.C % self.G or self.K % self.G:
             raise LayerError(
                 f"groups G={self.G} must divide C={self.C} and K={self.K} "
@@ -125,7 +123,8 @@ class FcLayer:
 
     ``in_features`` is the reduction dimension (the paper's ``T_K`` tiles
     it), ``out_features`` the number of output neurons (``T_S``), and
-    ``batch`` the number of input rows (``T_N``; STONNE requires 1).
+    ``batch`` the number of input rows (``T_N``; STONNE executes one at a
+    time, so batch-N runs as ``batch`` sequential simulations).
     """
 
     name: str
@@ -137,11 +136,6 @@ class FcLayer:
         _check_positive("in_features", self.in_features)
         _check_positive("out_features", self.out_features)
         _check_positive("batch", self.batch)
-        if self.batch != 1:
-            raise LayerError(
-                f"STONNE only supports batch size 1, got batch={self.batch} "
-                f"for layer {self.name!r}"
-            )
 
     @property
     def macs(self) -> int:

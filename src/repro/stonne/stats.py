@@ -116,6 +116,39 @@ class SimulationStats:
             phase_cycles=dict(self.phase_cycles),
         )
 
+    def repeated(self, count: int, layer_name: Optional[str] = None) -> "SimulationStats":
+        """Stats for ``count`` back-to-back runs of this exact simulation.
+
+        This is how batch-N workloads are modelled: STONNE executes one
+        batch element at a time, and the cycle models are deterministic,
+        so N sequential simulations are N identical copies.  Additive
+        quantities (cycles, psums, MACs, iterations, traffic, per-phase
+        cycles, energy) sum; occupancy quantities (multipliers used,
+        array size) take the maximum — which for identical runs is the
+        single-run value.
+        """
+        if count < 1:
+            raise ValueError(f"repeat count must be >= 1, got {count}")
+        name = self.layer_name if layer_name is None else layer_name
+        if count == 1:
+            return self.clone(layer_name=name)
+        return replace(
+            self,
+            layer_name=name,
+            cycles=self.cycles * count,
+            psums=self.psums * count,
+            macs=self.macs * count,
+            iterations=self.iterations * count,
+            traffic=TrafficBreakdown(
+                weights_distributed=self.traffic.weights_distributed * count,
+                inputs_distributed=self.traffic.inputs_distributed * count,
+                psums_reduced=self.traffic.psums_reduced * count,
+                outputs_written=self.traffic.outputs_written * count,
+            ),
+            phase_cycles={k: v * count for k, v in self.phase_cycles.items()},
+            energy=None if self.energy is None else self.energy * count,
+        )
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "layer_name": self.layer_name,

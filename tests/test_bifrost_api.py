@@ -79,10 +79,16 @@ class TestDense:
                 api.dense(data, weights), dense_ref(data, weights), rtol=1e-9
             )
 
-    def test_rejects_batch_over_one(self, rng, maeri128):
+    def test_batch_n_output_and_sequential_stats(self, rng, maeri128):
+        """Batch-N dense: exact outputs for every row, stats = N runs."""
+        data = rng.normal(size=(3, 8))
+        weights = rng.normal(size=(4, 8))
         api = make_api(maeri128)
-        with pytest.raises(SimulationError, match="batch 1"):
-            api.dense(rng.normal(size=(2, 8)), rng.normal(size=(4, 8)))
+        out = api.dense(data, weights)
+        np.testing.assert_allclose(out, dense_ref(data, weights), rtol=1e-9)
+        single = make_api(maeri128)
+        single.dense(data[:1], weights)
+        assert api.stats[0].cycles == 3 * single.stats[0].cycles
 
 
 class TestSparsityPath:

@@ -1,0 +1,279 @@
+"""Tests for the persistent cache tiers: SQLite sharing and JSONL compaction.
+
+The headline property of the SQLite tier is *mid-sweep* sharing: two
+processes pointed at one ``.sqlite`` file observe each other's inserts
+while both are still running — which the JSONL spill (read once at
+open) cannot do.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.engine import (
+    EvaluationEngine,
+    PersistentStatsCache,
+    SqliteStatsCache,
+    StatsCache,
+    make_stats_cache,
+)
+from repro.stonne.config import maeri_config
+from repro.stonne.layer import ConvLayer
+from repro.stonne.mapping import ConvMapping
+from repro.stonne.stats import SimulationStats
+
+CONFIG = maeri_config()
+
+
+def _stats(cycles=100, name="layer"):
+    return SimulationStats(
+        layer_name=name,
+        controller="maeri",
+        cycles=cycles,
+        psums=10,
+        macs=1000,
+        iterations=4,
+        multipliers_used=8,
+        array_size=128,
+        phase_cycles={"fill": 2, "steady": cycles - 2},
+    )
+
+
+KEY = ("fp", "ConvLayer", (1, 2, (3, 4)), "ConvMapping", (1, 1, 1, 1))
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["c.sqlite", "c.sqlite3", "c.db"])
+    def test_sqlite_suffixes(self, tmp_path, name):
+        cache = make_stats_cache(tmp_path / name)
+        assert isinstance(cache, SqliteStatsCache)
+        cache.close()
+
+    @pytest.mark.parametrize("name", ["c.jsonl", "c.cache", "plain"])
+    def test_everything_else_is_jsonl(self, tmp_path, name):
+        cache = make_stats_cache(tmp_path / name)
+        assert isinstance(cache, PersistentStatsCache)
+        assert not isinstance(cache, SqliteStatsCache)
+        cache.close()
+
+
+# ----------------------------------------------------------------------
+# sqlite tier
+# ----------------------------------------------------------------------
+class TestSqliteStatsCache:
+    def test_round_trip_and_copy_isolation(self, tmp_path):
+        with SqliteStatsCache(tmp_path / "c.sqlite") as cache:
+            cache.put(KEY, _stats())
+            got = cache.get(KEY)
+            assert got.to_dict() == _stats().to_dict()
+            got.cycles = 1  # mutating the copy must not corrupt the cache
+            assert cache.get(KEY).cycles == 100
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with SqliteStatsCache(path) as first:
+            first.put(KEY, _stats())
+        with SqliteStatsCache(path) as second:
+            assert second.get(KEY).cycles == 100
+            assert second.disk_entries() == 1
+
+    def test_concurrent_instances_see_each_others_inserts(self, tmp_path):
+        """Two live caches on one file: an insert through one is a hit
+        through the other, with no reopen — the mid-sweep property."""
+        path = tmp_path / "c.sqlite"
+        with SqliteStatsCache(path) as a, SqliteStatsCache(path) as b:
+            a.put(("from-a",), _stats(cycles=7))
+            b.put(("from-b",), _stats(cycles=9))
+            assert b.get(("from-a",)).cycles == 7
+            assert a.get(("from-b",)).cycles == 9
+
+    def test_l1_miss_falls_through_and_counts(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with SqliteStatsCache(path) as writer:
+            writer.put(KEY, _stats())
+        with SqliteStatsCache(path) as reader:
+            assert reader.get(("absent",)) is None
+            assert reader.get(KEY) is not None
+            assert (reader.hits, reader.misses) == (1, 1)
+
+    def test_l1_bound_does_not_lose_disk_records(self, tmp_path):
+        with SqliteStatsCache(tmp_path / "c.sqlite", max_entries=2) as cache:
+            for i in range(5):
+                cache.put((i,), _stats(cycles=i + 1))
+            assert len(cache) <= 2  # in-memory L1 respects the bound
+            assert cache.disk_entries() == 5
+            for i in range(5):  # every record still served (from disk)
+                assert cache.get((i,)).cycles == i + 1
+
+    def test_clear_drops_both_tiers(self, tmp_path):
+        with SqliteStatsCache(tmp_path / "c.sqlite") as cache:
+            cache.put(KEY, _stats())
+            cache.clear()
+            assert cache.get(KEY) is None
+            assert cache.disk_entries() == 0
+
+    def test_compact_reports_live_records(self, tmp_path):
+        with SqliteStatsCache(tmp_path / "c.sqlite") as cache:
+            cache.put(KEY, _stats())
+            cache.put(("other",), _stats())
+            assert cache.compact() == (2, 0)
+
+    def test_engine_integration(self, tmp_path):
+        """An engine over the sqlite tier: second engine starts warm."""
+        path = tmp_path / "c.sqlite"
+        layer = ConvLayer("c", C=8, H=12, W=12, K=8, R=3, S=3)
+        mapping = ConvMapping(T_R=3, T_S=3)
+        cold_cache = SqliteStatsCache(path)
+        cold = EvaluationEngine(CONFIG, cache=cold_cache)
+        first = cold.evaluate(layer, mapping)
+        assert cold.num_simulations == 1
+        cold_cache.close()
+
+        warm_cache = SqliteStatsCache(path)
+        warm = EvaluationEngine(CONFIG, cache=warm_cache)
+        second = warm.evaluate(layer, mapping)
+        assert warm.num_simulations == 0  # served from the shared tier
+        assert second.to_dict() == first.to_dict()
+        warm_cache.close()
+
+
+_WRITER_SCRIPT = textwrap.dedent(
+    """
+    import json, sys, time
+    from repro.engine import SqliteStatsCache
+    from repro.stonne.stats import SimulationStats
+
+    path, mine, theirs, count = sys.argv[1:5]
+    count = int(count)
+    stats = SimulationStats(
+        layer_name="l", controller="maeri", cycles=1, psums=1, macs=1,
+        iterations=1, multipliers_used=1, array_size=128,
+    )
+    cache = SqliteStatsCache(path)
+    for i in range(count):
+        cache.put((mine, i), stats)
+    # Wait (bounded) until every record of the *other* process is
+    # visible through this live cache instance: mid-sweep sharing.
+    deadline = time.monotonic() + 30
+    seen = 0
+    while time.monotonic() < deadline:
+        seen = sum(
+            1 for i in range(count) if cache.get((theirs, i)) is not None
+        )
+        if seen == count:
+            break
+        time.sleep(0.05)
+    cache.close()
+    print(json.dumps({"seen": seen}))
+    sys.exit(0 if seen == count else 1)
+    """
+)
+
+
+def test_two_processes_share_one_sqlite_cache(tmp_path):
+    """Acceptance criterion: two concurrent *processes* sharing one
+    SqliteStatsCache each observe the other's inserts within the same
+    sweep (neither reopens the file)."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    path = str(tmp_path / "shared.sqlite")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src_dir, env.get("PYTHONPATH")])
+    )
+    count = "25"
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WRITER_SCRIPT, path, mine, theirs, count],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        for mine, theirs in (("alpha", "beta"), ("beta", "alpha"))
+    ]
+    for proc in procs:
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, f"writer failed: {err}\n{out}"
+        assert json.loads(out)["seen"] == int(count)
+
+
+# ----------------------------------------------------------------------
+# JSONL compaction
+# ----------------------------------------------------------------------
+class TestCompact:
+    def test_dedup_last_write_wins(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        with PersistentStatsCache(path) as cache:
+            cache.put(KEY, _stats(cycles=100))
+        # A second process appending a newer record for the same key.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"key": KEY, "stats": _stats(cycles=777).to_dict()})
+                + "\n"
+            )
+        with PersistentStatsCache(path) as cache:
+            assert cache.compact() == (1, 1)
+            assert cache.get(KEY).cycles == 777  # the *last* record survived
+        assert len(path.read_text().strip().splitlines()) == 1
+
+    def test_drops_corrupt_lines(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        with PersistentStatsCache(path) as cache:
+            cache.put(KEY, _stats())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": [1], "stats"')  # crashed mid-append
+        with PersistentStatsCache(path) as cache:
+            assert cache.compact() == (1, 1)
+
+    def test_appends_keep_working_after_compact(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        with PersistentStatsCache(path) as cache:
+            cache.put(KEY, _stats())
+            cache.compact()
+            cache.put(("post-compact",), _stats(cycles=5))
+        with PersistentStatsCache(path) as reopened:
+            assert reopened.warm_entries == 2
+            assert reopened.get(("post-compact",)).cycles == 5
+
+    def test_compact_empty_cache(self, tmp_path):
+        with PersistentStatsCache(tmp_path / "spill.jsonl") as cache:
+            assert cache.compact() == (0, 0)
+
+    def test_cli_compact_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "spill.jsonl"
+        with PersistentStatsCache(path) as cache:
+            cache.put(KEY, _stats())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        assert main(["cache", "compact", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 live" in out and "1 superseded" in out
+
+    def test_cli_compact_missing_path_errors(self, tmp_path, capsys):
+        """A typo'd path must error, not create an empty cache file."""
+        from repro.cli import main
+
+        missing = tmp_path / "nope.jsonl"
+        assert main(["cache", "compact", str(missing)]) == 2
+        assert "no cache file" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_cli_compact_sqlite(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "c.sqlite"
+        with SqliteStatsCache(path) as cache:
+            cache.put(KEY, _stats())
+        assert main(["cache", "compact", str(path)]) == 0
+        assert "1 live" in capsys.readouterr().out

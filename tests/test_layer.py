@@ -43,9 +43,11 @@ class TestConvLayer:
         assert (gemm.M, gemm.K, gemm.N) == (4, 27, 64)
         assert gemm.macs == layer.macs
 
-    def test_rejects_batch_not_one(self):
-        with pytest.raises(LayerError, match="batch size 1"):
-            ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=3, N=2)
+    def test_accepts_batch_n(self):
+        """Batch-N descriptors are legal; MACs scale with the batch."""
+        single = ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=3)
+        batched = ConvLayer("c", C=3, H=10, W=10, K=4, R=3, S=3, N=2)
+        assert batched.macs == 2 * single.macs
 
     def test_rejects_nonpositive_dims(self):
         with pytest.raises(LayerError):
@@ -90,9 +92,10 @@ class TestFcLayer:
         gemm = layer.as_gemm()
         assert (gemm.M, gemm.K, gemm.N) == (4, 8, 1)
 
-    def test_rejects_batch_not_one(self):
-        with pytest.raises(LayerError, match="batch size 1"):
-            FcLayer("f", in_features=8, out_features=4, batch=2)
+    def test_accepts_batch_n(self):
+        single = FcLayer("f", in_features=8, out_features=4)
+        batched = FcLayer("f", in_features=8, out_features=4, batch=2)
+        assert batched.macs == 2 * single.macs
 
     def test_rejects_nonpositive(self):
         with pytest.raises(LayerError):
