@@ -9,10 +9,8 @@ deployment asks.
 Run:  python examples/hardware_design_space.py
 """
 
-from repro.bifrost import make_session, run_layers
-from repro.mrna import MrnaMapper
-from repro.stonne.config import maeri_config
 from repro.models import lenet_conv_layers, lenet_fc_layers
+from repro.session import Session
 from repro.tuner import CallableTask, GridSearchTuner, hardware_space
 
 CYCLE_BUDGET = 60_000
@@ -22,11 +20,11 @@ LAYERS = [*lenet_conv_layers(), *lenet_fc_layers()]
 def total_cycles(hw) -> int:
     """Simulated LeNet cycles for one hardware configuration, with mRNA
     mappings regenerated for that hardware."""
-    config = maeri_config(
-        ms_size=hw["ms_size"], dn_bw=hw["dn_bw"], rn_bw=hw["rn_bw"]
-    )
-    session = make_session(config, mapping_strategy="mrna")
-    return sum(s.cycles for s in run_layers(LAYERS, session))
+    with Session(
+        arch="maeri", ms_size=hw["ms_size"], dn_bw=hw["dn_bw"],
+        rn_bw=hw["rn_bw"], mapping="mrna",
+    ) as session:
+        return sum(s.cycles for s in session.run_layers(LAYERS))
 
 
 def cost(hw) -> float:

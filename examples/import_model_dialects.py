@@ -13,14 +13,13 @@ Run:  python examples/import_model_dialects.py
 import numpy as np
 
 import repro.frontends.torchlike as nn
-from repro.bifrost import make_session, run_graph
 from repro.frontends import (
     from_keraslike,
     from_native,
     from_onnxlike,
     from_torchlike,
 )
-from repro.stonne.config import sigma_config
+from repro.session import Session
 
 rng = np.random.default_rng(42)
 data = rng.normal(size=(1, 3, 16, 16))
@@ -99,12 +98,11 @@ graphs = {
     "keras-like": from_keraslike(keras_model),
 }
 
-config = sigma_config(sparsity_ratio=50)
-print(f"running each import on SIGMA at {config.sparsity_ratio}% sparsity\n")
+print("running each import on SIGMA at 50% sparsity\n")
 for dialect, graph in graphs.items():
-    session = make_session(config)
-    first_input = graph.nodes[graph.input_ids[0]].name
-    result = run_graph(graph, {first_input: data}, session)
+    with Session(arch="sigma", sparsity=50) as session:
+        first_input = graph.nodes[graph.input_ids[0]].name
+        result = session.run_graph(graph, {first_input: data})
     offloaded = ", ".join(s.layer_name for s in result.layer_stats)
     print(
         f"{dialect:<11} output {result.output.shape} | "

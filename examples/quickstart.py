@@ -3,11 +3,14 @@
 This is Listing 1 of the paper, end to end:
 
 1. define a model (torch-like module tree — any frontend dialect works);
-2. configure the simulated architecture through the ``architecture``
-   singleton and ``create_config_file()``;
-3. call ``run_torch_stonne``: conv2d/dense layers execute on the
-   simulated accelerator, everything else on the CPU;
-4. read back the output tensor and the per-layer cycle statistics.
+2. open a :class:`repro.session.Session` configured for the simulated
+   architecture (one typed config covers architecture, engine, cache,
+   fleet and tuning knobs — the same settings a ``repro.toml`` file or
+   ``REPRO_*`` environment variables can provide);
+3. call ``session.run``: conv2d/dense layers execute on the simulated
+   accelerator, everything else on the CPU;
+4. read back the output tensor and the per-layer cycle statistics from
+   the structured :class:`~repro.session.RunReport`.
 
 Run:  python examples/quickstart.py
 """
@@ -15,8 +18,8 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 import repro.frontends.torchlike as nn
-from repro.bifrost import architecture, make_session, run_torch_stonne
 from repro.bifrost.reporting import stats_table
+from repro.session import Session
 
 # 1. An arbitrary model in the torch-like dialect. ----------------------
 model = nn.Sequential(
@@ -34,17 +37,17 @@ model = nn.Sequential(
 )
 input_batch = np.random.default_rng(0).normal(size=(1, 3, 32, 32))
 
-# 2. Configure the simulated accelerator (Listing 1). -------------------
-architecture.reset()
-architecture.maeri()
-architecture.ms_size = 128          # number of multipliers
-architecture.dn_bw = 64             # distribution network bandwidth
-architecture.rn_bw = 16             # reduction network bandwidth
-config = architecture.create_config_file()
-
-# 3. Run the model; mRNA generates an optimized mapping per layer. ------
-session = make_session(config, mapping_strategy="mrna")
-result = run_torch_stonne(model, input_batch, session)
+# 2-3. Configure + run in one session (Listing 1, Session form). --------
+# mRNA generates an optimized mapping per layer; the `with` block owns
+# every resource (engine, caches, pools) and tears them down on exit.
+with Session(
+    arch="maeri",
+    ms_size=128,        # number of multipliers
+    dn_bw=64,           # distribution network bandwidth
+    rn_bw=16,           # reduction network bandwidth
+    mapping="mrna",
+) as session:
+    result = session.run(model, input_batch)
 
 # 4. Inspect results. ----------------------------------------------------
 print("model output shape:", result.output.shape)

@@ -12,19 +12,22 @@ optimization.  This package implements every substrate in Python:
 * :mod:`repro.tuner` -- the auto-tuning module (AutoTVM stand-in);
 * :mod:`repro.mrna` -- the specialized analytical mapper for MAERI;
 * :mod:`repro.bifrost` -- Bifrost itself, gluing the pieces together;
+* :mod:`repro.session` -- the unified public API: one typed config
+  (TOML/env/kwargs layered) and a lifecycle facade over engine, fleet
+  and tuning;
 * :mod:`repro.models` -- the model zoo (AlexNet et al.).
 
 Quickstart::
 
-    import numpy as np
-    from repro.bifrost import architecture, make_session, run_graph
-    from repro.models import lenet_graph
+    from repro.session import Session
 
-    architecture.maeri()
-    config = architecture.create_config_file()
-    session = make_session(config, mapping_strategy="mrna")
-    result = run_graph(lenet_graph(), {"data": np.zeros((1, 1, 28, 28))}, session)
-    print(result.total_cycles)
+    with Session(arch="maeri", mapping="mrna") as s:
+        report = s.run("lenet")
+        print(report.total_cycles)
+
+    # or drive everything from a config file / the environment:
+    with Session.from_file("repro.toml") as s:
+        print(s.tune("lenet", "conv1").best_mapping)
 """
 
 from repro.version import __version__

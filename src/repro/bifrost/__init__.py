@@ -1,17 +1,17 @@
 """Bifrost: end-to-end evaluation and optimization of reconfigurable DNN
 accelerators (the paper's core contribution).
 
-Typical use, mirroring Listing 1::
+Typical use, mirroring Listing 1 through the unified Session API::
 
-    from repro.bifrost import architecture, make_session, run_torch_stonne
+    from repro.session import Session
 
-    architecture.maeri()
-    architecture.ms_size = 128
-    config = architecture.create_config_file()
+    with Session(arch="maeri", ms_size=128, mapping="tuned") as s:
+        result = s.run(model, input_batch)
+        print(result.total_cycles)
 
-    session = make_session(config, mapping_strategy="tuned")
-    result = run_torch_stonne(model, input_batch, session)
-    print(result.total_cycles)
+The entry points below remain for existing code; ``make_session`` and
+the ``executor=`` keyword arguments are deprecation shims forwarding to
+:class:`repro.session.Session`.
 """
 
 from repro.bifrost.api import (

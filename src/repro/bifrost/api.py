@@ -20,6 +20,7 @@ strategies reach them.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -85,12 +86,28 @@ class StonneBifrostApi:
     def __post_init__(self) -> None:
         # One engine per session, shared with the mapping configurator so
         # tuner simulations and run_layers populate the same stats cache.
+        self._owned_cache = None  # persistent tier built here, closed here
         if self._engine is None:
+            if (
+                self.executor is not None
+                or self.cache_path is not None
+                or self.max_workers is not None
+                or self.workers is not None
+            ):
+                warnings.warn(
+                    "passing executor=/cache_path=/max_workers=/workers= to "
+                    "StonneBifrostApi is deprecated; configure a "
+                    "repro.session.Session (its .api is a fully wired "
+                    "endpoint) or pass a prebuilt engine via _engine=",
+                    DeprecationWarning,
+                    stacklevel=3,  # caller -> dataclass __init__ -> here
+                )
             cache = (
                 make_stats_cache(self.cache_path)
                 if self.cache_path is not None
                 else None
             )
+            self._owned_cache = cache
             from repro.fleet.remote_backend import resolve_executor
 
             executor = resolve_executor(
@@ -113,6 +130,31 @@ class StonneBifrostApi:
         of the session and with mapping tuning)."""
         assert self._engine is not None
         return self._engine
+
+    def close(self) -> None:
+        """Release every resource this endpoint owns (idempotent).
+
+        Closes the owning :class:`repro.session.Session` when there is
+        one (the ``make_session`` shim path), so executor pools *and*
+        persistent cache tiers (SQLite connections, JSONL spills) are
+        torn down; endpoints constructed directly close their engine
+        plus any cache they built from ``cache_path=``.
+        """
+        session = getattr(self, "_session", None)
+        if session is not None:
+            session.close()
+            return
+        if self._engine is not None:
+            self._engine.close()
+        cache = getattr(self, "_owned_cache", None)
+        if cache is not None:
+            cache.close()
+
+    def __enter__(self) -> "StonneBifrostApi":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _controller_cls(self):
         return controller_class(self.config.controller_type)

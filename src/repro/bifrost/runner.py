@@ -3,10 +3,20 @@
 This is the surface Listing 1 shows: hand Bifrost a model and an input,
 get the model output back, with conv2d/dense layers transparently executed
 on the simulated accelerator and everything else on the CPU.
+
+Sessions are owned by :class:`repro.session.Session` these days —
+``make_session`` survives as a deprecation shim forwarding there, and
+the ``run_*`` helpers accept either a :class:`Session` or its
+:class:`~repro.bifrost.api.StonneBifrostApi` endpoint.  New code should
+prefer::
+
+    with Session.from_file("repro.toml") as s:
+        report = s.run(model, input_batch)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -45,6 +55,11 @@ class BifrostRunResult:
         return combine_stats(name, self.layer_stats)
 
 
+def _as_api(session) -> StonneBifrostApi:
+    """Accept a :class:`repro.session.Session` or a bare API endpoint."""
+    return session.api if hasattr(session, "api") else session
+
+
 def make_session(
     config: SimulatorConfig,
     mapping_strategy: Union[MappingStrategy, str] = MappingStrategy.DEFAULT,
@@ -57,33 +72,51 @@ def make_session(
     max_workers: Optional[int] = None,
     workers: Optional[List[str]] = None,
 ) -> StonneBifrostApi:
-    """Build a Bifrost session: config + mapping configurator + stats.
+    """Deprecated: build a Bifrost session the pre-``repro.session`` way.
 
-    ``executor`` selects the session engine's backend
-    ("serial"/"thread"/"process"/"remote") for batched evaluations —
-    tuner generations and :func:`run_layers` batches fan out through it.
-    ``workers`` is the fleet for the remote backend (``host:port``
-    addresses; implies ``executor="remote"`` unless one is named).
-    ``cache_path`` persists the engine's stats cache — a ``.sqlite``
-    path selects the shared WAL tier a fleet can read and write
-    mid-sweep, anything else the JSONL warm-start spill.
+    .. deprecated::
+        Use :class:`repro.session.Session` — it accepts the same options
+        as one typed :class:`~repro.session.SessionConfig`, adds
+        file/env layering, and tears everything down deterministically::
+
+            with Session(executor="process", cache_path="stats.sqlite") as s:
+                report = s.run("alexnet")
+
+    This shim forwards to :class:`~repro.session.Session` (hermetically:
+    the environment layer is skipped, preserving the old semantics) and
+    returns the session's :class:`StonneBifrostApi` endpoint, which
+    behaves exactly as before.
     """
-    mappings = MappingConfigurator(
-        config=config,
-        strategy=MappingStrategy(mapping_strategy),
-        objective=objective,
-        tuner_trials=tuner_trials,
-        tuner_early_stopping=tuner_early_stopping,
+    warnings.warn(
+        "make_session is deprecated; use repro.session.Session "
+        "(e.g. `with Session(executor=..., cache_path=...) as s:`)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return StonneBifrostApi(
-        config=config,
-        mappings=mappings,
-        params=params,
+    from repro.session import Session, SessionConfig
+
+    session_config = SessionConfig.resolve(
+        env=False,
+        mapping=MappingStrategy(mapping_strategy).value,
+        objective=objective,
+        trials=tuner_trials,
+        early_stopping=tuner_early_stopping,
         executor=executor,
         cache_path=cache_path,
         max_workers=max_workers,
-        workers=list(workers) if workers else None,
+        workers=tuple(workers) if workers else (),
     )
+    session = Session(session_config, simulator_config=config, params=params)
+    api = session.api
+    # Preserve the informational fields legacy callers could inspect,
+    # and keep the owning session reachable so api.close() tears down
+    # the cache tier and pools the session built.
+    api.executor = executor
+    api.cache_path = cache_path
+    api.max_workers = max_workers
+    api.workers = list(workers) if workers else None
+    api._session = session
+    return api
 
 
 def _annotate_layer_names(graph: Graph) -> None:
@@ -101,16 +134,23 @@ def run_graph(
 ) -> BifrostRunResult:
     """Execute ``graph`` with conv2d/dense offloaded to ``session``.
 
-    The session is installed as the "stonne" target for the duration of
-    the call and uninstalled afterwards, so parallel CPU-only execution
-    elsewhere is unaffected.  ``executor`` overrides the session
-    engine's backend for the call — batched work triggered during it
-    (e.g. mapping tuning under the TUNED strategy) fans out through the
-    named backend.
+    The session (a :class:`repro.session.Session` or its API endpoint)
+    is installed as the "stonne" target for the duration of the call and
+    uninstalled afterwards, so parallel CPU-only execution elsewhere is
+    unaffected.  ``executor`` overrides the session engine's backend for
+    the call — deprecated: configure the executor on
+    :class:`~repro.session.SessionConfig` instead.
     """
+    session = _as_api(session)
     engine = session.engine
     previous_backend = engine.backend
     if executor is not None:
+        warnings.warn(
+            "run_graph(executor=...) is deprecated; set the executor on "
+            "the session's SessionConfig (engine section) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         # Resolved before any global state changes so an unknown backend
         # name fails cleanly; cached on the engine, so repeated calls
         # reuse one pool and engine.close() shuts it down.
@@ -158,14 +198,22 @@ def run_layers(
     stats record per layer, honouring the session's mapping strategy.
     The whole batch is submitted to the session engine's
     :meth:`~repro.engine.EvaluationEngine.evaluate_many` — repeated
-    shapes are served from the stats cache instead of re-simulated, and
-    ``executor`` overrides the engine's backend for this batch
-    ("serial"/"thread"/"process"/"remote" — the last fans the batch out
-    across the session's fleet workers).
+    shapes are served from the stats cache instead of re-simulated.
+    ``executor`` overrides the engine's backend for this batch —
+    deprecated: configure the executor on the session's
+    :class:`~repro.session.SessionConfig` instead.
     """
     from repro.engine import EvalRequest
     from repro.stonne.layer import ConvLayer, FcLayer
 
+    if executor is not None:
+        warnings.warn(
+            "run_layers(executor=...) is deprecated; set the executor on "
+            "the session's SessionConfig (engine section) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    session = _as_api(session)
     engine = session.engine
     requests: List[EvalRequest] = []
     for layer in layers:

@@ -1,5 +1,13 @@
 """Command-line interface: the Bifrost workflow without writing Python.
 
+Every subcommand is a thin adapter over :class:`repro.session.Session`,
+and every configuration flag is *derived* from
+:class:`~repro.session.SessionConfig` field metadata — the config
+object, the ``REPRO_*`` environment variables and the CLI flags are one
+namespace with one documented precedence:
+
+    CLI flags > kwargs > REPRO_* environment > --config file > defaults
+
 Subcommands:
 
 * ``features`` — print the Table I feature matrix;
@@ -8,20 +16,18 @@ Subcommands:
 * ``tune`` — tune one layer's mapping with a chosen tuner/objective;
 * ``compare`` — default vs AutoTVM vs mRNA mappings for a zoo model's
   accelerated layers (the Figure 12 view);
+* ``config show [--json]`` — print the fully-resolved effective config
+  (the text form is valid TOML, so ``repro config show > repro.toml``
+  produces a working ``--config`` file);
 * ``worker`` — a fleet worker daemon serving simulation batches over
-  TCP (the execution side of ``--executor remote``);
+  TCP (its cache settings come from the same config sections);
 * ``cache`` — maintenance of persistent stats caches (``compact``).
 
-``run``/``tune``/``compare`` accept ``--executor
-{serial,thread,process,remote}`` to pick the evaluation engine's
-executor backend (``process`` runs simulations in parallel across local
-worker processes; ``remote`` shards batches across ``--workers`` fleet
-daemons) and ``--cache-path FILE`` to persist the simulation-stats
-cache — ``.sqlite`` selects the shared WAL tier concurrent sweeps read
-and write mid-run, anything else the JSONL warm-start spill.
-
-Entry point: ``python -m repro.cli <subcommand> ...`` (argument lists are
-plain data, so the test suite drives :func:`main` directly).
+Every measurement subcommand accepts ``--config path.toml`` plus the
+derived flags (``--executor``, ``--cache-path``, ``--cache-max-rows``,
+``--workers``, ...).  Entry point: ``python -m repro.cli <subcommand>``
+(argument lists are plain data, so the test suite drives :func:`main`
+directly).
 """
 
 from __future__ import annotations
@@ -31,117 +37,12 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
-
-MODELS = ("alexnet", "lenet", "vgg_small", "mlp")
-ARCHITECTURES = ("maeri", "sigma", "tpu", "magma")
+from repro.session import ZOO_MODELS as MODELS
 
 
-def _zoo_layers(model: str):
-    from repro import models as zoo
-
-    if model == "alexnet":
-        return zoo.alexnet_conv_layers() + zoo.alexnet_fc_layers()
-    if model == "lenet":
-        return zoo.lenet_conv_layers() + zoo.lenet_fc_layers()
-    if model == "vgg_small":
-        return zoo.vgg_small_conv_layers() + zoo.vgg_small_fc_layers()
-    if model == "mlp":
-        return zoo.mlp_fc_layers()
-    raise ReproError(f"unknown model {model!r}; expected one of {MODELS}")
-
-
-def _build_config(args):
-    from repro.bifrost import Architecture
-
-    arch = Architecture()
-    if args.arch == "maeri":
-        arch.maeri()
-        arch.ms_size = args.ms_size
-        arch.dn_bw = args.dn_bw
-        arch.rn_bw = args.rn_bw
-    elif args.arch == "sigma":
-        arch.sigma(args.sparsity)
-        arch.ms_size = args.ms_size
-        arch.dn_bw = args.dn_bw
-        arch.rn_bw = args.rn_bw
-    elif args.arch == "magma":
-        arch.magma(args.sparsity)
-        arch.ms_size = args.ms_size
-        arch.dn_bw = args.dn_bw
-        arch.rn_bw = args.rn_bw
-    else:
-        arch.tpu(args.ms_rows, args.ms_cols)
-    config = arch.create_config_file()
-    for correction in arch.corrections:
+def _print_corrections(session) -> None:
+    for correction in session.corrections:
         print(f"note: {correction}")
-    return config
-
-
-def _parse_workers(text: Optional[str]) -> Optional[List[str]]:
-    if not text:
-        return None
-    return [part.strip() for part in text.split(",") if part.strip()]
-
-
-def _build_engine(config, args):
-    """An evaluation engine honouring --executor/--cache-path/--workers."""
-    from repro.engine import EvaluationEngine, make_stats_cache
-    from repro.fleet.remote_backend import resolve_executor
-
-    cache = (
-        make_stats_cache(args.cache_path)
-        if getattr(args, "cache_path", None)
-        else None
-    )
-    executor = resolve_executor(
-        getattr(args, "executor", None),
-        _parse_workers(getattr(args, "workers", None)),
-        getattr(args, "max_workers", None),
-    )
-    return EvaluationEngine(
-        config,
-        cache=cache,
-        executor=executor,
-        max_workers=getattr(args, "max_workers", None),
-    )
-
-
-def _add_hw_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--arch", choices=ARCHITECTURES, default="maeri")
-    parser.add_argument("--ms-size", type=int, default=128, dest="ms_size")
-    parser.add_argument("--dn-bw", type=int, default=64, dest="dn_bw")
-    parser.add_argument("--rn-bw", type=int, default=16, dest="rn_bw")
-    parser.add_argument("--ms-rows", type=int, default=16, dest="ms_rows")
-    parser.add_argument("--ms-cols", type=int, default=16, dest="ms_cols")
-    parser.add_argument("--sparsity", type=int, default=0)
-
-
-def _add_engine_args(parser: argparse.ArgumentParser) -> None:
-    from repro.engine import registered_backends
-
-    parser.add_argument(
-        "--executor", choices=registered_backends(), default=None,
-        help="executor backend for batched evaluations: serial (inline), "
-             "thread (GIL-bound pool), process (true parallel simulation "
-             "across worker processes), or remote (shard batches across "
-             "--workers fleet daemons)")
-    parser.add_argument(
-        "--cache-path", dest="cache_path", default=None, metavar="FILE",
-        help="persist the simulation-stats cache to this file; a .sqlite/"
-             ".sqlite3/.db extension selects the shared WAL-mode tier "
-             "(concurrent sweeps and workers see each other's records "
-             "mid-run), anything else the append-only JSONL spill that "
-             "warm-starts repeated sweeps")
-    parser.add_argument(
-        "--max-workers", type=int, default=None, dest="max_workers",
-        help="pool width for the thread/process executor backends")
-    parser.add_argument(
-        "--workers", default=None, metavar="HOST:PORT,...",
-        help="comma-separated fleet worker addresses for the remote "
-             "executor (start them with: repro worker --listen HOST:PORT); "
-             "implies --executor remote, retries dead workers' shards on "
-             "survivors, and falls back to inline execution when no "
-             "worker is reachable")
 
 
 def _print_fleet_report(engine) -> None:
@@ -177,128 +78,96 @@ def _cmd_features(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.bifrost import make_session, run_layers
     from repro.bifrost.reporting import stats_table
+    from repro.session import Session, config_from_args
     from repro.stonne.energy import attach_energy
 
-    config = _build_config(args)
-    strategy = args.mapping if args.arch == "maeri" else "default"
-    session = make_session(
-        config,
-        mapping_strategy=strategy,
-        executor=args.executor,
-        cache_path=args.cache_path,
-        max_workers=args.max_workers,
-        workers=_parse_workers(args.workers),
-    )
-    stats = run_layers(_zoo_layers(args.model), session)
-    print(stats_table(stats))
-    if args.energy:
-        total = sum(attach_energy(s).energy for s in stats)
-        print(f"total energy: {total:,.0f} MAC-units")
-    _print_cache_report(session.engine, args.cache_path)
-    _print_fleet_report(session.engine)
-    session.engine.close()
+    config = config_from_args(args)
+    with Session(config) as session:
+        _print_corrections(session)
+        report = session.run(args.model)
+        print(stats_table(report.layer_stats))
+        if args.energy:
+            total = sum(attach_energy(s).energy for s in report.layer_stats)
+            print(f"total energy: {total:,.0f} MAC-units")
+        if args.report_json:
+            from pathlib import Path
+
+            Path(args.report_json).write_text(report.to_json() + "\n")
+            print(f"run report written to {args.report_json}")
+        _print_cache_report(session.engine, config.cache.path)
+        _print_fleet_report(session.engine)
     return 0
 
 
 def _cmd_tune(args) -> int:
-    from repro.stonne.layer import ConvLayer
-    from repro.tuner import (
-        GATuner,
-        GridSearchTuner,
-        MaeriConvTask,
-        MaeriFcTask,
-        RandomTuner,
-        XGBTuner,
-    )
+    from repro.session import Session, config_from_args, zoo_layers
 
-    config = _build_config(args)
-    layers = {layer.name: layer for layer in _zoo_layers(args.model)}
+    config = config_from_args(args)
+    layers = {layer.name: layer for layer in zoo_layers(args.model)}
     if args.layer not in layers:
         print(f"error: model {args.model!r} has no layer {args.layer!r}; "
               f"choose from {sorted(layers)}", file=sys.stderr)
         return 2
-    layer = layers[args.layer]
-    engine = _build_engine(config, args)
-    if isinstance(layer, ConvLayer):
-        task = MaeriConvTask(layer, config, objective=args.objective,
-                             engine=engine)
-    else:
-        task = MaeriFcTask(layer, config, objective=args.objective,
-                           engine=engine)
-    tuners = {
-        "grid": GridSearchTuner,
-        "random": RandomTuner,
-        "ga": GATuner,
-        "xgb": XGBTuner,
-    }
-    tuner = tuners[args.tuner](task, seed=args.seed)
-    result = tuner.tune(n_trials=args.trials, early_stopping=args.early_stopping)
-    if result.best_config is None:
-        print("error: no valid mapping found", file=sys.stderr)
-        return 1
-    mapping = task.best_mapping(result.best_config)
-    print(f"explored {result.num_trials} configs"
-          f"{' (early stop)' if result.stopped_early else ''}")
-    print(f"best mapping: {mapping.as_tuple()}")
-    print(f"best {args.objective}: {result.best_cost:,.0f}")
-    _print_cache_report(engine, args.cache_path)
-    _print_fleet_report(engine)
-    engine.close()
-    if args.log:
-        result.records.save_jsonl(args.log)
-        print(f"tuning log written to {args.log}")
+    with Session(config) as session:
+        _print_corrections(session)
+        report = session.tune(layers[args.layer])
+        print(f"explored {report.num_trials} configs"
+              f"{' (early stop)' if report.stopped_early else ''}")
+        print(f"best mapping: {report.best_mapping}")
+        print(f"best {report.objective}: {report.best_cost:,.0f}")
+        _print_cache_report(session.engine, config.cache.path)
+        _print_fleet_report(session.engine)
+        if args.log:
+            report.records.save_jsonl(args.log)
+            print(f"tuning log written to {args.log}")
     return 0
 
 
 def _cmd_compare(args) -> int:
     from repro.bifrost.reporting import LayerComparison, comparison_table
-    from repro.mrna import MrnaMapper
-    from repro.stonne.layer import ConvLayer
-    from repro.stonne.maeri import MaeriController
-    from repro.stonne.mapping import ConvMapping, FcMapping
-    from repro.tuner import GridSearchTuner, MaeriConvTask, MaeriFcTask
+    from repro.session import Session, config_from_args
 
-    config = _build_config(args)
-    controller = MaeriController(config)
-    mapper = MrnaMapper(config)
-    engine = _build_engine(config, args)
-    rows: List[LayerComparison] = []
-    for layer in _zoo_layers(args.model):
-        is_conv = isinstance(layer, ConvLayer)
-        if is_conv:
-            task = MaeriConvTask(layer, config, objective="psums",
-                                 max_options_per_tile=4, engine=engine)
-        else:
-            task = MaeriFcTask(layer, config, objective="psums", engine=engine)
-        tuned = task.best_mapping(
-            GridSearchTuner(task).tune(n_trials=10 ** 9).best_config
-        )
-        mrna = mapper.map_conv(layer) if is_conv else mapper.map_fc(layer)
-        basic = ConvMapping.basic() if is_conv else FcMapping.basic()
-        run = controller.run_conv if is_conv else controller.run_fc
-        rows.append(
-            LayerComparison(
-                layer.name,
-                {
-                    "default": run(layer, basic).cycles,
-                    "AutoTVM": run(layer, tuned).cycles,
-                    "mRNA": run(layer, mrna).cycles,
-                },
-            )
-        )
-    print(comparison_table(rows, ["default", "AutoTVM", "mRNA"]))
-    _print_cache_report(engine, args.cache_path)
-    _print_fleet_report(engine)
-    engine.close()
+    config = config_from_args(args)
+    with Session(config) as session:
+        _print_corrections(session)
+        report = session.compare(args.model)
+        rows = [
+            LayerComparison(row["layer"], dict(row["cycles"]))
+            for row in report.rows
+        ]
+        print(comparison_table(rows, list(report.schemes)))
+        _print_cache_report(session.engine, config.cache.path)
+        _print_fleet_report(session.engine)
     return 0
+
+
+def _cmd_config(args) -> int:
+    from repro.session import config_from_args
+
+    config = config_from_args(args)
+    if args.config_command == "show":
+        if args.json:
+            print(config.to_json())
+        else:
+            print(config.to_toml(), end="")
+        return 0
+    print(f"error: unknown config command {args.config_command!r}",
+          file=sys.stderr)
+    return 2
 
 
 def _cmd_worker(args) -> int:
     from repro.fleet.worker import serve
+    from repro.session import config_from_args
 
-    return serve(args.listen, cache_path=args.cache_path, quiet=args.quiet)
+    config = config_from_args(args)
+    return serve(
+        args.listen,
+        cache_path=config.cache.path,
+        cache_max_rows=config.cache.max_rows,
+        quiet=args.quiet,
+    )
 
 
 def _cmd_cache(args) -> int:
@@ -325,8 +194,15 @@ def _cmd_cache(args) -> int:
     return 2
 
 
-#: --help epilog: the distributed workflow in one screen.
+#: --help epilog: the layered config + distributed workflow in one screen.
 FLEET_EPILOG = """\
+layered configuration:
+  Every flag below can also come from a config file or the environment
+  (precedence: flags > REPRO_* environment > --config file > defaults):
+      repro config show > repro.toml      # snapshot the effective config
+      repro run alexnet --config repro.toml
+      REPRO_EXECUTOR=process repro run alexnet
+
 distributed sweeps:
   Start one worker daemon per machine (or core group):
       repro worker --listen 0.0.0.0:9461 --cache-path shared.sqlite
@@ -337,12 +213,15 @@ distributed sweeps:
   retries dead workers' shards on survivors, and falls back to inline
   execution when no worker is reachable — results are bit-identical to
   --executor serial.  A shared .sqlite cache path lets concurrent
-  sweeps and workers reuse each other's measurements mid-run; compact
-  long-lived JSONL spills with: repro cache compact PATH
+  sweeps and workers reuse each other's measurements mid-run (bound it
+  with --cache-max-rows); compact long-lived JSONL spills with:
+  repro cache compact PATH
 """
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.session import add_config_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Bifrost reproduction CLI",
@@ -355,34 +234,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate a zoo model end to end")
     run.add_argument("model", choices=MODELS)
-    _add_hw_args(run)
-    _add_engine_args(run)
-    run.add_argument("--mapping", choices=("default", "tuned", "mrna"),
-                     default="mrna")
+    add_config_arguments(run)
     run.add_argument("--energy", action="store_true",
                      help="also report total energy")
+    run.add_argument("--report-json", dest="report_json", metavar="FILE",
+                     help="also write the structured RunReport as JSON")
 
     tune = sub.add_parser("tune", help="tune one layer's mapping (MAERI)")
     tune.add_argument("model", choices=MODELS)
     tune.add_argument("layer", help="layer name, e.g. conv3 or fc1")
-    _add_hw_args(tune)
-    _add_engine_args(tune)
-    tune.add_argument("--objective", choices=("cycles", "psums", "energy"),
-                      default="psums")
-    tune.add_argument("--tuner", choices=("grid", "random", "ga", "xgb"),
-                      default="xgb")
-    tune.add_argument("--trials", type=int, default=400)
-    tune.add_argument("--early-stopping", type=int, default=120,
-                      dest="early_stopping")
-    tune.add_argument("--seed", type=int, default=0)
+    add_config_arguments(tune)
     tune.add_argument("--log", help="write the tuning history as JSONL")
 
     compare = sub.add_parser(
         "compare", help="default vs AutoTVM vs mRNA mappings (MAERI)"
     )
     compare.add_argument("model", choices=MODELS)
-    _add_hw_args(compare)
-    _add_engine_args(compare)
+    add_config_arguments(compare)
+
+    config = sub.add_parser(
+        "config",
+        help="inspect the layered session configuration",
+    )
+    config_sub = config.add_subparsers(dest="config_command", required=True)
+    show = config_sub.add_parser(
+        "show",
+        help="print the fully-resolved effective config (flags > env > "
+             "--config file > defaults); the default output is valid "
+             "TOML for --config",
+    )
+    add_config_arguments(show)
+    show.add_argument("--json", action="store_true",
+                      help="emit JSON (round-trips through "
+                           "SessionConfig.from_dict)")
 
     worker = sub.add_parser(
         "worker",
@@ -392,10 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--listen", default="127.0.0.1:9461", metavar="HOST:PORT",
         help="address to bind (default 127.0.0.1:9461; port 0 picks a "
              "free port)")
-    worker.add_argument(
-        "--cache-path", dest="cache_path", default=None, metavar="FILE",
-        help="local stats cache for the worker (use a shared .sqlite "
-             "path to pool discoveries with co-located workers)")
+    add_config_arguments(worker)
     worker.add_argument(
         "--quiet", action="store_true", help="suppress the startup banner")
 
@@ -421,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "compare": _cmd_compare,
+        "config": _cmd_config,
         "worker": _cmd_worker,
         "cache": _cmd_cache,
     }

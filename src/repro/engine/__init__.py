@@ -52,6 +52,9 @@ Components
 
 Who routes through it
 ---------------------
+* ``repro.session.Session`` — the public facade: it builds one engine
+  per session from a typed ``SessionConfig`` (executor, cache tier,
+  fleet workers) and guarantees ``close()`` runs on exit;
 * ``repro.tuner.measure.TuningTask`` — ``measure_batch`` submits a whole
   tuner generation to ``evaluate_many``, making GA/XGB tuning
   dramatically cheaper on revisited configs while keeping results

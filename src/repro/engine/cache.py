@@ -272,6 +272,7 @@ SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 def make_stats_cache(
     path: Union[str, os.PathLike],
     max_entries: int = DEFAULT_MAX_ENTRIES,
+    max_rows: Optional[int] = None,
 ) -> StatsCache:
     """The persistent cache tier for ``path``, dispatched by extension.
 
@@ -281,10 +282,14 @@ def make_stats_cache(
     else gets the append-only JSONL :class:`PersistentStatsCache`
     (warm start across runs).  This is the single rule behind the CLI's
     ``--cache-path`` and the worker daemon's local cache.
+
+    ``max_rows`` bounds the SQLite tier with LRU eviction
+    (``--cache-max-rows``); the JSONL spill is append-only history and
+    ignores it — bound that tier with ``compact()`` instead.
     """
     suffix = Path(path).suffix.lower()
     if suffix in SQLITE_SUFFIXES:
         from repro.engine.sqlite_cache import SqliteStatsCache
 
-        return SqliteStatsCache(path, max_entries=max_entries)
+        return SqliteStatsCache(path, max_entries=max_entries, max_rows=max_rows)
     return PersistentStatsCache(path, max_entries=max_entries)

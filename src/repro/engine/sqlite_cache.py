@@ -38,10 +38,15 @@ BUSY_TIMEOUT_S = 30.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS stats (
-    key   TEXT PRIMARY KEY,
-    stats TEXT NOT NULL
+    key         TEXT PRIMARY KEY,
+    stats       TEXT NOT NULL,
+    accessed_at REAL NOT NULL DEFAULT 0
 )
 """
+
+_ACCESS_INDEX = (
+    "CREATE INDEX IF NOT EXISTS stats_accessed_at ON stats (accessed_at)"
+)
 
 
 def encode_key(key: Hashable) -> str:
@@ -69,17 +74,33 @@ class SqliteStatsCache(StatsCache):
     without any refresh protocol.  ``put`` writes both tiers and commits
     immediately — one simulation result is one durable transaction.
 
+    The shared tier grows without bound by default; ``max_rows`` caps it
+    with LRU eviction: with a cap set, every get and put stamps the
+    row's ``accessed_at`` column (a shared logical clock), and a put
+    that pushes the row count past the cap deletes the least recently
+    accessed overflow.  Without a cap, gets stay read-only — stamping
+    would turn every shared-tier read into a write transaction for a
+    column eviction never consults.  Databases created before the
+    column existed are migrated in place on open.
+
     Args:
         path: The database file; created (with parents) when missing.
         max_entries: L1 LRU bound, as for :class:`StatsCache`.
+        max_rows: Row-count cap for the shared database tier; ``None``
+            (the default) keeps the historical unbounded behaviour.
     """
 
     def __init__(
         self,
         path: Union[str, os.PathLike],
         max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_rows: Optional[int] = None,
     ) -> None:
         super().__init__(max_entries=max_entries)
+        if max_rows is not None and max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        self.max_rows = max_rows
+        self.evictions = 0
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # One connection per cache instance, shared across the engine's
@@ -91,24 +112,70 @@ class SqliteStatsCache(StatsCache):
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute(_SCHEMA)
+        self._migrate_schema()
+        self._conn.execute(_ACCESS_INDEX)
         self._conn.commit()
         self._closed = False
 
+    def _migrate_schema(self) -> None:
+        """Add ``accessed_at`` to databases from before eviction existed.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters an existing table,
+        so a pre-eviction file still lacks the column; rows it already
+        holds start with access time 0 (oldest, evicted first), which is
+        the right prior for records nothing has touched since.
+        """
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(stats)")
+        }
+        if "accessed_at" not in columns:
+            self._conn.execute(
+                "ALTER TABLE stats ADD COLUMN accessed_at REAL NOT NULL DEFAULT 0"
+            )
+
     # ------------------------------------------------------------------
+    def _touch(self, encoded: str) -> None:
+        """Refresh a row's LRU stamp (cap-enabled caches only).
+
+        The stamp is a shared logical clock (MAX+1), not wall time: it
+        is monotone under concurrent writers and immune to clock skew
+        between fleet members.  Uncapped caches skip it entirely so
+        reads stay read-only — no writer lock, no WAL growth, and
+        read-only database files keep working.
+        """
+        if self.max_rows is None:
+            return
+        self._conn.execute(
+            "UPDATE stats SET accessed_at = "
+            "(SELECT MAX(accessed_at) FROM stats) + 1 WHERE key = ?",
+            (encoded,),
+        )
+        self._conn.commit()
+
     def get(self, key: Hashable) -> Optional[SimulationStats]:
-        """L1 first, then the shared database; a database hit warms L1."""
+        """L1 first, then the shared database; a database hit warms L1.
+
+        When a row cap is set, *both* hit paths refresh the shared
+        ``accessed_at`` stamp — an L1 hit must still count as fleet-wide
+        access, or the hottest keys (absorbed by L1 after first read)
+        would look cold to every other process's eviction.
+        """
         with self._lock:
             record = self._records.get(key)
             if record is not None:
                 self._records.move_to_end(key)
                 self.hits += 1
+                if self.max_rows is not None:  # keep L1 hits encode-free
+                    self._touch(encode_key(key))
                 return record.clone()
+            encoded = encode_key(key)
             row = self._conn.execute(
-                "SELECT stats FROM stats WHERE key = ?", (encode_key(key),)
+                "SELECT stats FROM stats WHERE key = ?", (encoded,)
             ).fetchone()
             if row is None:
                 self.misses += 1
                 return None
+            self._touch(encoded)
             stats = SimulationStats.from_dict(json.loads(row[0]))
             self._records[key] = stats
             self._records.move_to_end(key)
@@ -126,10 +193,35 @@ class SqliteStatsCache(StatsCache):
             while len(self._records) > self.max_entries:
                 self._records.popitem(last=False)
             self._conn.execute(
-                "INSERT OR REPLACE INTO stats (key, stats) VALUES (?, ?)",
+                "INSERT OR REPLACE INTO stats (key, stats, accessed_at) "
+                "VALUES (?, ?, (SELECT COALESCE(MAX(accessed_at), 0) + 1 "
+                "FROM stats))",
                 (encode_key(key), json.dumps(stats.to_dict(), default=str)),
             )
+            self._evict_overflow()
             self._conn.commit()
+
+    def _evict_overflow(self) -> None:
+        """Delete least-recently-accessed rows past ``max_rows``.
+
+        Called under the lock with a transaction open.  The fresh write
+        carries the newest stamp, so it can never evict itself; ties on
+        ``accessed_at`` (pre-migration rows at 0) break on ``rowid``,
+        oldest insert first.
+        """
+        if self.max_rows is None:
+            return
+        count = self._conn.execute("SELECT COUNT(*) FROM stats").fetchone()[0]
+        overflow = count - self.max_rows
+        if overflow <= 0:
+            return
+        self._conn.execute(
+            "DELETE FROM stats WHERE key IN ("
+            "SELECT key FROM stats ORDER BY accessed_at ASC, rowid ASC "
+            "LIMIT ?)",
+            (overflow,),
+        )
+        self.evictions += overflow
 
     # ------------------------------------------------------------------
     def __contains__(self, key: Hashable) -> bool:

@@ -212,15 +212,24 @@ def serve(
     listen: str,
     cache_path: Optional[str] = None,
     quiet: bool = False,
+    cache_max_rows: Optional[int] = None,
 ) -> int:
     """Blocking daemon entry point behind ``repro worker``.
 
-    Serves until interrupted; returns a process exit code.
+    Serves until interrupted; returns a process exit code.  The cache
+    settings come from the same :class:`~repro.session.SessionConfig`
+    cache section the sweep drivers use (``repro worker --config``), so
+    a fleet member and its drivers cannot disagree about the shared
+    tier's path or its LRU row cap.
     """
     from repro.engine.cache import make_stats_cache
 
     host, port = parse_address(listen, default_port=9461)
-    cache = make_stats_cache(cache_path) if cache_path else None
+    cache = (
+        make_stats_cache(cache_path, max_rows=cache_max_rows)
+        if cache_path
+        else None
+    )
     worker = FleetWorker((host, port), cache=cache)
     if not quiet:
         print(

@@ -1,0 +1,174 @@
+"""Structured results returned by :class:`repro.session.Session`.
+
+Every report is a plain dataclass with ``to_dict``/``from_dict`` and
+``to_json``/``from_json``, so runs can be archived, diffed, and shipped
+between machines.  Numpy outputs (when a run produces tensors) are kept
+on the in-memory object but excluded from the JSON form — reports
+serialize *measurements*, not activations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.stonne.stats import SimulationStats, combine_stats
+
+
+@dataclass
+class RunReport:
+    """One model run: per-layer statistics plus engine bookkeeping.
+
+    Attributes:
+        model: Zoo model name, or None for ad-hoc graphs.
+        architecture: Controller type that executed the run.
+        layer_stats: One :class:`~repro.stonne.stats.SimulationStats`
+            per offloaded layer, in execution order.
+        counters: Engine counters snapshot (evaluations, simulations,
+            cache hits/misses) taken when the report was built.
+        outputs: Model output tensors (graph runs only; not serialized).
+    """
+
+    model: Optional[str]
+    architecture: str
+    layer_stats: List[SimulationStats]
+    counters: Dict[str, Any] = field(default_factory=dict)
+    outputs: Optional[List[Any]] = field(default=None, repr=False, compare=False)
+
+    @property
+    def output(self):
+        """First output tensor (graph runs)."""
+        if not self.outputs:
+            raise ValueError("this report has no output tensors")
+        return self.outputs[0]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(s.cycles for s in self.layer_stats)
+
+    @property
+    def total_psums(self) -> int:
+        return sum(s.psums for s in self.layer_stats)
+
+    def combined(self, name: str = "model") -> SimulationStats:
+        return combine_stats(name, self.layer_stats)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "run",
+            "model": self.model,
+            "architecture": self.architecture,
+            "layer_stats": [s.to_dict() for s in self.layer_stats],
+            "counters": dict(self.counters),
+            "total_cycles": self.total_cycles,
+            "total_psums": self.total_psums,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        return cls(
+            model=data.get("model"),
+            architecture=data.get("architecture", ""),
+            layer_stats=[
+                SimulationStats.from_dict(s) for s in data.get("layer_stats", [])
+            ],
+            counters=dict(data.get("counters", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class TuneReport:
+    """One mapping-tuning run for a single layer.
+
+    ``records`` (the full per-trial history) stays on the in-memory
+    object for ``--log`` dumps; the JSON form carries the outcome.
+    """
+
+    model: Optional[str]
+    layer: str
+    objective: str
+    tuner: str
+    seed: int
+    best_mapping: Tuple[int, ...]
+    best_cost: float
+    num_trials: int
+    stopped_early: bool
+    records: Optional[Any] = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "tune",
+            "model": self.model,
+            "layer": self.layer,
+            "objective": self.objective,
+            "tuner": self.tuner,
+            "seed": self.seed,
+            "best_mapping": list(self.best_mapping),
+            "best_cost": self.best_cost,
+            "num_trials": self.num_trials,
+            "stopped_early": self.stopped_early,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneReport":
+        return cls(
+            model=data.get("model"),
+            layer=data["layer"],
+            objective=data["objective"],
+            tuner=data["tuner"],
+            seed=data.get("seed", 0),
+            best_mapping=tuple(data["best_mapping"]),
+            best_cost=data["best_cost"],
+            num_trials=data["num_trials"],
+            stopped_early=data.get("stopped_early", False),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuneReport":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class CompareReport:
+    """Per-layer cycle counts under several mapping schemes (Figure 12).
+
+    ``rows`` maps layer name -> {scheme: cycles}, in layer order.
+    """
+
+    model: str
+    schemes: Tuple[str, ...]
+    rows: List[Dict[str, Any]]  # [{"layer": name, "cycles": {scheme: int}}]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "compare",
+            "model": self.model,
+            "schemes": list(self.schemes),
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompareReport":
+        return cls(
+            model=data["model"],
+            schemes=tuple(data["schemes"]),
+            rows=[dict(row) for row in data["rows"]],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompareReport":
+        return cls.from_dict(json.loads(text))

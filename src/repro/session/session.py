@@ -1,0 +1,444 @@
+"""The Session facade: one object that owns the whole measurement stack.
+
+The paper's Bifrost frontend is "one API, seven steps" (§V); three PRs
+of growth scattered that API across ``make_session``, engine kwargs,
+fleet flags and tuner options.  :class:`Session` restores the single
+surface: build it from a :class:`~repro.session.config.SessionConfig`
+(or any of that class's layers), use it as a context manager, and every
+resource — the :class:`~repro.engine.EvaluationEngine`, the cache
+tiers, the fleet client, the packed-func registration — is created in
+one place and torn down deterministically by :meth:`close`.
+
+Typical use::
+
+    from repro.session import Session
+
+    with Session.from_file("repro.toml") as s:
+        report = s.run("alexnet")          # zoo model -> RunReport
+        print(report.total_cycles)
+        print(report.to_json())
+
+    with Session(executor="process", max_workers=4) as s:
+        tuned = s.tune("lenet", "conv1")   # -> TuneReport
+        print(tuned.best_mapping, tuned.best_cost)
+
+Graph workloads go through the same object::
+
+    with Session(arch="maeri", mapping="mrna") as s:
+        report = s.run(model, input_batch)       # torch-like module
+        report = s.run_graph(graph, {"data": x}) # raw IR graph
+
+Teardown is guaranteed: ``close()`` (or leaving the ``with`` block)
+drains executor pools (thread/process workers), disconnects fleet
+workers, closes SQLite connections and JSONL spills, and uninstalls
+packed functions — the resource leaks of the pre-Session entry points
+cannot recur.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError, TuningError
+from repro.session.config import SessionConfig
+from repro.session.reports import CompareReport, RunReport, TuneReport
+
+#: Model-zoo names `zoo_layers` (and the CLI's model argument) accept.
+ZOO_MODELS = ("alexnet", "lenet", "vgg_small", "mlp")
+
+
+def zoo_layers(model: str) -> List:
+    """Layer descriptors of a model-zoo network, conv layers first."""
+    from repro import models as zoo
+
+    if model == "alexnet":
+        return zoo.alexnet_conv_layers() + zoo.alexnet_fc_layers()
+    if model == "lenet":
+        return zoo.lenet_conv_layers() + zoo.lenet_fc_layers()
+    if model == "vgg_small":
+        return zoo.vgg_small_conv_layers() + zoo.vgg_small_fc_layers()
+    if model == "mlp":
+        return zoo.mlp_fc_layers()
+    raise ReproError(
+        f"unknown model {model!r}; expected one of {ZOO_MODELS}"
+    )
+
+
+class Session:
+    """A configured measurement session over one simulated accelerator.
+
+    Args:
+        config: A resolved :class:`SessionConfig`.  When omitted, one is
+            built from ``overrides`` (kwargs layer) over the ``REPRO_*``
+            environment over defaults.
+        simulator_config: A prebuilt (validated) hardware config that
+            bypasses the architecture section — the adapter path used by
+            the legacy ``make_session`` shim and by tests that hand-roll
+            :class:`~repro.stonne.config.SimulatorConfig` objects.
+        params: Cycle-model calibration constants.
+        **overrides: Flat config keys (see
+            :func:`repro.session.config.known_keys`) overriding
+            ``config``.
+
+    Attributes:
+        config: The resolved :class:`SessionConfig`.
+        simulator_config: The validated hardware configuration.
+        corrections: Auto-corrections the configurator applied.
+        engine: The session's :class:`~repro.engine.EvaluationEngine`.
+        api: The :class:`~repro.bifrost.api.StonneBifrostApi` packed-func
+            endpoint bound to this session's engine.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SessionConfig] = None,
+        *,
+        simulator_config=None,
+        params=None,
+        **overrides: Any,
+    ) -> None:
+        from repro.bifrost.api import StonneBifrostApi
+        from repro.bifrost.mapping_config import MappingConfigurator, MappingStrategy
+        from repro.engine import EvaluationEngine, StatsCache, make_stats_cache
+        from repro.fleet.remote_backend import resolve_executor
+        from repro.stonne.params import DEFAULT_PARAMS
+
+        if config is None:
+            config = SessionConfig.resolve(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.params = params if params is not None else DEFAULT_PARAMS
+
+        if simulator_config is not None:
+            self.simulator_config = simulator_config
+            self.corrections: List[str] = []
+        else:
+            self.simulator_config, self.corrections = (
+                config.build_simulator_config()
+            )
+
+        cache_cfg = config.cache
+        if cache_cfg.path is not None:
+            self._cache = make_stats_cache(
+                cache_cfg.path,
+                max_entries=cache_cfg.max_entries,
+                max_rows=cache_cfg.max_rows,
+            )
+        else:
+            self._cache = StatsCache(max_entries=cache_cfg.max_entries)
+
+        executor = resolve_executor(
+            config.engine.executor,
+            list(config.fleet.workers) or None,
+            config.engine.max_workers,
+        )
+        self.engine = EvaluationEngine(
+            self.simulator_config,
+            self.params,
+            cache=self._cache,
+            executor=executor,
+            max_workers=config.engine.max_workers,
+            functional=config.engine.functional,
+        )
+        self.mappings = MappingConfigurator(
+            config=self.simulator_config,
+            strategy=MappingStrategy(config.tuning.mapping),
+            objective=config.tuning.objective,
+            tuner_trials=config.tuning.trials,
+            tuner_early_stopping=config.tuning.early_stopping,
+            seed=config.tuning.seed,
+            engine=self.engine,
+        )
+        self.api = StonneBifrostApi(
+            config=self.simulator_config,
+            mappings=self.mappings,
+            params=self.params,
+            _engine=self.engine,
+        )
+        self._installed = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction layers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path, **overrides: Any) -> "Session":
+        """A session from a TOML/JSON config file (kwargs override it)."""
+        return cls(SessionConfig.resolve(file=path, **overrides))
+
+    @classmethod
+    def from_env(cls, environ=None, **overrides: Any) -> "Session":
+        """A session from the ``REPRO_*`` environment (kwargs override)."""
+        return cls(SessionConfig.resolve(env=environ, **overrides))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], **overrides: Any) -> "Session":
+        """A session from a nested config dict (kwargs override it)."""
+        return cls(SessionConfig.from_dict(data).with_overrides(**overrides))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Deterministic teardown (idempotent).
+
+        Uninstalls packed functions if installed, drains the engine's
+        executor pools (thread/process workers, fleet connections), and
+        closes persistent cache tiers (SQLite connections, JSONL
+        spills).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._installed:
+            self.uninstall()
+        self.engine.close()
+        close = getattr(self._cache, "close", None)
+        if close is not None:
+            close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("this Session is closed")
+
+    # ------------------------------------------------------------------
+    # packed-func registration
+    # ------------------------------------------------------------------
+    def install(self) -> "Session":
+        """Bind this session's API as the global "stonne" target and
+        register its packed functions (``tvm.contrib.stonne.*``).
+
+        Graph runs do this automatically for their own duration; call it
+        directly only to drive the packed-func registry by hand.
+        """
+        from repro.bifrost.strategies import install_session
+
+        self._check_open()
+        install_session(self.api)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Remove this session's global registrations (idempotent)."""
+        from repro.bifrost.strategies import active_session, uninstall_session
+
+        if active_session() is self.api:
+            uninstall_session()
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # measurement entry points
+    # ------------------------------------------------------------------
+    def run(self, model, input_batch=None) -> RunReport:
+        """Run a model and return a structured :class:`RunReport`.
+
+        Two forms:
+
+        * ``run("alexnet")`` — a zoo model name: its layer descriptors
+          are simulated in one engine batch (repeated shapes served from
+          the stats cache, misses fanned out on the configured executor).
+        * ``run(module, input_batch)`` — a torch-like module tree plus a
+          real input batch: the graph executes end to end with
+          conv2d/dense offloaded to the simulated accelerator, and the
+          report carries the real output tensors.
+        """
+        self._check_open()
+        if isinstance(model, str):
+            stats = self.run_layers(zoo_layers(model))
+            return RunReport(
+                model=model,
+                architecture=str(self.simulator_config.controller_type.value),
+                layer_stats=stats,
+                counters=self.engine.counters(),
+            )
+        if input_batch is None:
+            raise ReproError(
+                "Session.run(model, input_batch) requires an input batch "
+                "for non-zoo models"
+            )
+        import numpy as np
+
+        from repro.frontends.torchlike import from_torchlike
+
+        shape = tuple(np.asarray(input_batch).shape)
+        graph = from_torchlike(model, shape)
+        first_input = graph.nodes[graph.input_ids[0]].name
+        return self.run_graph(graph, {first_input: np.asarray(input_batch)})
+
+    def run_layers(self, layers) -> List:
+        """Simulate bare layer descriptors through the session engine
+        (the batch path behind ``run("<zoo model>")``).
+
+        One implementation serves both API generations:
+        :func:`repro.bifrost.runner.run_layers` does the work, and this
+        method is its session-scoped spelling.
+        """
+        from repro.bifrost.runner import run_layers as _run_layers
+
+        self._check_open()
+        return _run_layers(layers, self.api)
+
+    def run_graph(self, graph, feeds: Dict[str, Any]) -> RunReport:
+        """Execute an IR graph with conv2d/dense offloaded to this
+        session; returns a :class:`RunReport` carrying the outputs."""
+        from repro.bifrost.runner import run_graph as _run_graph
+
+        self._check_open()
+        result = _run_graph(graph, feeds, self.api)
+        return RunReport(
+            model=None,
+            architecture=str(self.simulator_config.controller_type.value),
+            layer_stats=result.layer_stats,
+            counters=self.engine.counters(),
+            outputs=result.outputs,
+        )
+
+    def tune(
+        self,
+        model,
+        layer: Optional[str] = None,
+        *,
+        tuner: Optional[str] = None,
+        objective: Optional[str] = None,
+        trials: Optional[int] = None,
+        early_stopping: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> TuneReport:
+        """Tune one layer's mapping; keyword overrides beat the config.
+
+        ``model`` is a zoo model name (then ``layer`` names the layer)
+        or a bare :class:`~repro.stonne.layer.ConvLayer` /
+        :class:`~repro.stonne.layer.FcLayer` descriptor.
+        """
+        from repro.stonne.layer import ConvLayer
+        from repro.tuner import (
+            GATuner,
+            GridSearchTuner,
+            MaeriConvTask,
+            MaeriFcTask,
+            RandomTuner,
+            XGBTuner,
+        )
+
+        self._check_open()
+        model_name: Optional[str] = None
+        if isinstance(model, str):
+            model_name = model
+            layers = {l.name: l for l in zoo_layers(model)}
+            if layer not in layers:
+                raise TuningError(
+                    f"model {model!r} has no layer {layer!r}; "
+                    f"choose from {sorted(layers)}"
+                )
+            target = layers[layer]
+        else:
+            target = model
+        tuning = self.config.tuning
+        objective = objective or tuning.objective
+        tuner_name = tuner or tuning.tuner
+        seed = tuning.seed if seed is None else seed
+        if isinstance(target, ConvLayer):
+            task = MaeriConvTask(
+                target, self.simulator_config, objective=objective,
+                engine=self.engine,
+            )
+        else:
+            task = MaeriFcTask(
+                target, self.simulator_config, objective=objective,
+                engine=self.engine,
+            )
+        tuners = {
+            "grid": GridSearchTuner,
+            "random": RandomTuner,
+            "ga": GATuner,
+            "xgb": XGBTuner,
+        }
+        if tuner_name not in tuners:
+            raise TuningError(
+                f"tuner must be one of {sorted(tuners)}, got {tuner_name!r}"
+            )
+        result = tuners[tuner_name](task, seed=seed).tune(
+            n_trials=trials if trials is not None else tuning.trials,
+            early_stopping=(
+                early_stopping if early_stopping is not None
+                else tuning.early_stopping
+            ),
+        )
+        if result.best_config is None:
+            raise TuningError("no valid mapping found")
+        mapping = task.best_mapping(result.best_config)
+        return TuneReport(
+            model=model_name,
+            layer=target.name,
+            objective=objective,
+            tuner=tuner_name,
+            seed=seed,
+            best_mapping=tuple(mapping.as_tuple()),
+            best_cost=result.best_cost,
+            num_trials=result.num_trials,
+            stopped_early=result.stopped_early,
+            records=result.records,
+        )
+
+    def compare(self, model: str) -> CompareReport:
+        """Default vs AutoTVM vs mRNA mappings for a zoo model's
+        accelerated layers (the Figure 12 view), as a
+        :class:`CompareReport`."""
+        from repro.mrna import MrnaMapper
+        from repro.stonne.layer import ConvLayer
+        from repro.stonne.mapping import ConvMapping, FcMapping
+        from repro.tuner import GridSearchTuner, MaeriConvTask, MaeriFcTask
+
+        self._check_open()
+        mapper = MrnaMapper(self.simulator_config)
+        schemes = ("default", "AutoTVM", "mRNA")
+        rows: List[Dict[str, Any]] = []
+        for layer in zoo_layers(model):
+            is_conv = isinstance(layer, ConvLayer)
+            if is_conv:
+                task = MaeriConvTask(
+                    layer, self.simulator_config, objective="psums",
+                    max_options_per_tile=4, engine=self.engine,
+                )
+            else:
+                task = MaeriFcTask(
+                    layer, self.simulator_config, objective="psums",
+                    engine=self.engine,
+                )
+            tuned = task.best_mapping(
+                GridSearchTuner(task).tune(n_trials=10 ** 9).best_config
+            )
+            mrna = mapper.map_conv(layer) if is_conv else mapper.map_fc(layer)
+            basic = ConvMapping.basic() if is_conv else FcMapping.basic()
+            cycles = {
+                "default": self.engine.evaluate(layer, basic).cycles,
+                "AutoTVM": self.engine.evaluate(layer, tuned).cycles,
+                "mRNA": self.engine.evaluate(layer, mrna).cycles,
+            }
+            rows.append({"layer": layer.name, "cycles": cycles})
+        return CompareReport(model=model, schemes=schemes, rows=rows)
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, Any]:
+        """Engine bookkeeping snapshot (evaluations, simulations, cache
+        hits/misses, executor name)."""
+        return self.engine.counters()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({self.config.architecture.arch}, "
+            f"executor={self.engine.backend.name!r}, {state})"
+        )

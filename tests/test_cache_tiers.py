@@ -277,3 +277,143 @@ class TestCompact:
             cache.put(KEY, _stats())
         assert main(["cache", "compact", str(path)]) == 0
         assert "1 live" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# sqlite LRU eviction (row-count cap)
+# ----------------------------------------------------------------------
+def _key(i):
+    return ("fp", "ConvLayer", (i,), None, None)
+
+
+class TestSqliteEviction:
+    def test_unbounded_by_default(self, tmp_path):
+        cache = SqliteStatsCache(tmp_path / "e.sqlite")
+        for i in range(50):
+            cache.put(_key(i), _stats(cycles=i + 1))
+        assert cache.disk_entries() == 50
+        assert cache.evictions == 0
+        cache.close()
+
+    def test_cap_evicts_least_recently_accessed(self, tmp_path):
+        # L1 of 1 forces every get through the database tier, so the
+        # shared tier's accessed_at stamps track real access order.
+        cache = SqliteStatsCache(tmp_path / "e.sqlite", max_entries=1,
+                                 max_rows=3)
+        for i in range(3):
+            cache.put(_key(i), _stats(cycles=i + 1))
+        assert cache.get(_key(0)) is not None  # refresh key 0
+        cache.put(_key(3), _stats(cycles=4))   # evicts key 1 (oldest)
+        assert cache.disk_entries() == 3
+        assert cache.evictions == 1
+        db = SqliteStatsCache(tmp_path / "e.sqlite", max_entries=1)
+        assert db.get(_key(1)) is None
+        assert db.get(_key(0)) is not None
+        assert db.get(_key(2)) is not None
+        assert db.get(_key(3)) is not None
+        db.close()
+        cache.close()
+
+    def test_fresh_write_never_evicts_itself(self, tmp_path):
+        cache = SqliteStatsCache(tmp_path / "e.sqlite", max_entries=1,
+                                 max_rows=1)
+        for i in range(5):
+            cache.put(_key(i), _stats(cycles=i + 1))
+        assert cache.disk_entries() == 1
+        db = SqliteStatsCache(tmp_path / "e.sqlite", max_entries=1)
+        assert db.get(_key(4)) is not None
+        db.close()
+        cache.close()
+
+    def test_pre_eviction_database_migrates(self, tmp_path):
+        # A database created before the accessed_at column existed must
+        # open, gain the column, and participate in eviction.
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "CREATE TABLE stats (key TEXT PRIMARY KEY, stats TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO stats (key, stats) VALUES (?, ?)",
+            (json.dumps(list(_key(0)), default=str),
+             json.dumps(_stats(cycles=7).to_dict())),
+        )
+        conn.commit()
+        conn.close()
+
+        cache = SqliteStatsCache(path, max_entries=1, max_rows=2)
+        assert cache.get(_key(0)).cycles == 7  # old record readable
+        cache.put(_key(1), _stats(cycles=8))
+        cache.put(_key(2), _stats(cycles=9))
+        # Access order was 0, 1, 2 — the cap of 2 evicts key 0.
+        assert cache.disk_entries() == 2
+        db = SqliteStatsCache(path, max_entries=1)
+        assert db.get(_key(0)) is None
+        assert db.get(_key(2)) is not None
+        db.close()
+        cache.close()
+
+    def test_invalid_max_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_rows"):
+            SqliteStatsCache(tmp_path / "e.sqlite", max_rows=0)
+
+    def test_make_stats_cache_passes_cap(self, tmp_path):
+        cache = make_stats_cache(tmp_path / "cap.sqlite", max_rows=2)
+        assert cache.max_rows == 2
+        for i in range(4):
+            cache.put(_key(i), _stats(cycles=i + 1))
+        assert cache.disk_entries() == 2
+        cache.close()
+        # The JSONL tier has no row cap (append-only history); the
+        # argument must not break its construction.
+        jsonl = make_stats_cache(tmp_path / "cap.jsonl", max_rows=2)
+        assert not hasattr(jsonl, "max_rows")
+        jsonl.close()
+
+    def test_engine_sweep_respects_cap(self, tmp_path):
+        cache = make_stats_cache(tmp_path / "sweep.sqlite", max_rows=2)
+        engine = EvaluationEngine(CONFIG, cache=cache)
+        layers = [
+            ConvLayer(name=f"c{i}", C=1, H=4 + i, W=4 + i, K=1, R=2, S=2)
+            for i in range(4)
+        ]
+        for layer in layers:
+            engine.evaluate(layer, ConvMapping.basic())
+        assert cache.disk_entries() == 2
+        engine.close()
+        cache.close()
+
+    def test_uncapped_gets_are_read_only(self, tmp_path):
+        # Without a row cap, gets must not write: no writer lock, no WAL
+        # growth, and eviction never consults the stamp anyway.
+        import sqlite3
+
+        path = tmp_path / "ro.sqlite"
+        writer = SqliteStatsCache(path)
+        writer.put(_key(0), _stats(cycles=5))
+        writer.close()
+
+        reader = SqliteStatsCache(path, max_entries=1)
+        assert reader.get(_key(0)) is not None
+        reader.close()
+        conn = sqlite3.connect(str(path))
+        stamp_after_put, = conn.execute(
+            "SELECT accessed_at FROM stats").fetchone()
+        conn.close()
+        assert stamp_after_put == 1  # the put's stamp; the get added none
+
+    def test_l1_hits_refresh_shared_stamp_when_capped(self, tmp_path):
+        # A key hot in one process's L1 must still look hot to the
+        # shared tier, or other processes' eviction would drop it.
+        cache = SqliteStatsCache(tmp_path / "hot.sqlite", max_rows=8)
+        cache.put(_key(0), _stats(cycles=1))
+        cache.put(_key(1), _stats(cycles=2))
+        for _ in range(3):
+            assert cache.get(_key(0)) is not None  # L1 hits after first
+        stamps = dict(cache._conn.execute(
+            "SELECT key, accessed_at FROM stats"))
+        cache.close()
+        assert stamps[json.dumps(list(_key(0)))] > stamps[
+            json.dumps(list(_key(1)))]

@@ -75,3 +75,65 @@ class TestMagmaSupport:
     def test_run_on_magma(self, capsys):
         assert main(["run", "lenet", "--arch", "magma", "--sparsity", "75"]) == 0
         assert "total" in capsys.readouterr().out
+
+
+class TestLayeredConfig:
+    def test_run_with_config_file(self, tmp_path, capsys):
+        toml = tmp_path / "repro.toml"
+        toml.write_text(
+            "[architecture]\nms_size = 64\n\n[engine]\nexecutor = 'serial'\n"
+        )
+        assert main(["run", "lenet", "--config", str(toml)]) == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_flags_override_config_file(self, tmp_path, capsys):
+        toml = tmp_path / "repro.toml"
+        toml.write_text("[architecture]\nms_size = 100\n")
+        # File asks for 100 (invalid, would be corrected); flag wins with
+        # a clean power of two, so no correction note is printed.
+        assert main(["run", "mlp", "--config", str(toml),
+                     "--ms-size", "64"]) == 0
+        assert "rounded up" not in capsys.readouterr().out
+
+    def test_bad_config_key_is_error(self, tmp_path, capsys):
+        toml = tmp_path / "repro.toml"
+        toml.write_text("[engine]\nexecuter = 'serial'\n")
+        assert main(["run", "mlp", "--config", str(toml)]) == 1
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_config_show_json(self, capsys):
+        import json
+
+        assert main(["config", "show", "--json", "--arch", "sigma",
+                     "--sparsity", "25"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["architecture"]["arch"] == "sigma"
+        assert data["architecture"]["sparsity"] == 25
+
+    def test_config_show_text_is_toml(self, capsys):
+        assert main(["config", "show"]) == 0
+        out = capsys.readouterr().out
+        import tomllib
+
+        data = tomllib.loads(out)
+        assert data["architecture"]["arch"] == "maeri"
+
+    def test_cache_max_rows_flag_caps_sqlite(self, tmp_path, capsys):
+        db = tmp_path / "capped.sqlite"
+        assert main(["run", "lenet", "--cache-path", str(db),
+                     "--cache-max-rows", "2"]) == 0
+        capsys.readouterr()
+        import sqlite3
+
+        conn = sqlite3.connect(str(db))
+        rows = conn.execute("SELECT COUNT(*) FROM stats").fetchone()[0]
+        conn.close()
+        assert rows <= 2
+
+    def test_run_report_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        assert main(["run", "mlp", "--report-json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["model"] == "mlp" and data["total_cycles"] > 0

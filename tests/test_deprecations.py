@@ -1,0 +1,204 @@
+"""Deprecation hygiene for the pre-Session entry points.
+
+Every legacy surface — ``make_session``, ``run_layers(executor=...)``,
+``run_graph(executor=...)``, ``StonneBifrostApi(executor=...)`` — must
+keep producing *identical* results while warning exactly once per call,
+so downstream code migrates on its own schedule without silent drift.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bifrost.api import StonneBifrostApi
+from repro.bifrost.mapping_config import MappingConfigurator
+from repro.bifrost.runner import make_session, run_graph, run_layers
+from repro.session import Session, zoo_layers
+from repro.stonne.config import maeri_config
+
+CONFIG = maeri_config()
+
+
+def _single_warning(record):
+    """The one DeprecationWarning a legacy call must emit."""
+    deprecations = [
+        w for w in record if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got "
+        f"{[str(w.message) for w in deprecations]}"
+    )
+    return deprecations[0]
+
+
+class TestMakeSession:
+    def test_warns_exactly_once(self):
+        with pytest.warns(DeprecationWarning) as record:
+            make_session(CONFIG)
+        warning = _single_warning(record)
+        assert "repro.session.Session" in str(warning.message)
+
+    def test_results_identical_to_session(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = make_session(CONFIG, mapping_strategy="mrna")
+            legacy_stats = run_layers(zoo_layers("lenet"), legacy)
+            legacy.close()
+        with Session(mapping="mrna") as s:
+            report = s.run("lenet")
+        assert [st.to_dict() for st in legacy_stats] == [
+            st.to_dict() for st in report.layer_stats
+        ]
+
+    def test_returned_api_keeps_legacy_fields(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            api = make_session(CONFIG, executor="thread", max_workers=2)
+        assert api.executor == "thread"
+        assert api.max_workers == 2
+        assert api.engine.backend.name == "thread"
+        api.close()
+
+    def test_forwards_engine_options_without_double_warning(self):
+        # The shim builds the engine through Session, so the inner
+        # StonneBifrostApi deprecation path must not fire a second time.
+        with pytest.warns(DeprecationWarning) as record:
+            api = make_session(CONFIG, executor="serial",
+                               cache_path=None, max_workers=None)
+        _single_warning(record)
+        api.close()
+
+
+class TestRunLayersExecutorKwarg:
+    def test_warns_exactly_once_and_identical(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session = make_session(CONFIG)
+        layers = zoo_layers("mlp")
+        baseline = run_layers(layers, session)
+        with pytest.warns(DeprecationWarning) as record:
+            threaded = run_layers(layers, session, executor="thread")
+        warning = _single_warning(record)
+        assert "run_layers(executor=...)" in str(warning.message)
+        assert [s.to_dict() for s in baseline] == [
+            s.to_dict() for s in threaded
+        ]
+        session.close()
+
+    def test_no_warning_without_kwarg(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session = make_session(CONFIG)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            run_layers(zoo_layers("mlp"), session)
+        assert [w for w in record
+                if issubclass(w.category, DeprecationWarning)] == []
+        session.close()
+
+    def test_accepts_session_object(self):
+        with Session(mapping="default") as s:
+            stats = run_layers(zoo_layers("mlp"), s)
+            assert len(stats) == len(zoo_layers("mlp"))
+
+
+class TestRunGraphExecutorKwarg:
+    def test_warns_exactly_once_and_identical(self):
+        from repro.models import lenet_graph
+
+        feed = {"data": np.ones((1, 1, 28, 28))}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session = make_session(CONFIG)
+        baseline = run_graph(lenet_graph(), feed, session)
+        with pytest.warns(DeprecationWarning) as record:
+            threaded = run_graph(lenet_graph(), feed, session,
+                                 executor="thread")
+        _single_warning(record)
+        assert baseline.total_cycles == threaded.total_cycles
+        assert np.array_equal(baseline.output, threaded.output)
+        session.close()
+
+
+class TestStonneBifrostApiKwargs:
+    @pytest.mark.parametrize("kwargs", [
+        {"executor": "serial"},
+        {"max_workers": 2},
+        {"workers": ["localhost:1"]},
+    ])
+    def test_engine_kwargs_warn_exactly_once(self, kwargs):
+        with pytest.warns(DeprecationWarning) as record:
+            api = StonneBifrostApi(
+                config=CONFIG,
+                mappings=MappingConfigurator(config=CONFIG),
+                **kwargs,
+            )
+        warning = _single_warning(record)
+        assert "StonneBifrostApi" in str(warning.message)
+        api.close()
+
+    def test_cache_path_kwarg_warns(self, tmp_path):
+        with pytest.warns(DeprecationWarning) as record:
+            api = StonneBifrostApi(
+                config=CONFIG,
+                mappings=MappingConfigurator(config=CONFIG),
+                cache_path=str(tmp_path / "c.jsonl"),
+            )
+        _single_warning(record)
+        api.close()
+
+    def test_plain_construction_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            api = StonneBifrostApi(
+                config=CONFIG, mappings=MappingConfigurator(config=CONFIG)
+            )
+        assert [w for w in record
+                if issubclass(w.category, DeprecationWarning)] == []
+        api.close()
+
+    def test_deprecated_kwargs_still_work(self, rng=np.random.default_rng(0)):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = StonneBifrostApi(
+                config=CONFIG,
+                mappings=MappingConfigurator(config=CONFIG, strategy="mrna"),
+                executor="serial",
+            )
+        data = rng.normal(size=(1, 1, 8, 8))
+        weights = rng.normal(size=(4, 1, 3, 3))
+        out = legacy.conv2d_nchw(data, weights)
+        with Session(mapping="mrna") as s:
+            expected = s.api.conv2d_nchw(data, weights)
+        assert np.array_equal(out, expected)
+        assert legacy.stats[0].to_dict() == s.api.stats[0].to_dict()
+        legacy.close()
+
+
+class TestLegacyTeardown:
+    def test_make_session_close_closes_cache_tier(self, tmp_path):
+        import sqlite3
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            api = make_session(CONFIG, cache_path=str(tmp_path / "t.sqlite"))
+        api.dense(np.ones((1, 8)), np.ones((4, 8)))
+        api.close()
+        with pytest.raises(sqlite3.ProgrammingError):
+            api.engine.cache._conn.execute("SELECT 1")
+
+    def test_direct_api_close_closes_owned_cache(self, tmp_path):
+        import sqlite3
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            api = StonneBifrostApi(
+                config=CONFIG,
+                mappings=MappingConfigurator(config=CONFIG),
+                cache_path=str(tmp_path / "d.sqlite"),
+            )
+        with api:
+            api.dense(np.ones((1, 8)), np.ones((4, 8)))
+        with pytest.raises(sqlite3.ProgrammingError):
+            api.engine.cache._conn.execute("SELECT 1")
