@@ -1,0 +1,99 @@
+"""A whole scenario matrix from one TOML: profiles, axes, diffable reports.
+
+The paper's experiments are cross-products — models × accelerator
+configurations — and `repro.sweep` makes that product one API call
+instead of a shell loop:
+
+1. one TOML holds the base config plus named ``[profile.edge]`` /
+   ``[profile.cloud]`` overlays;
+2. ``SweepPlan.matrix`` expands 3 models × 2 profiles into scenarios;
+3. ``Session.sweep`` executes the whole matrix in one session — layers
+   shared between scenarios simulate once (watch ``num_simulations``
+   against ``num_evaluations`` in the counters) and one executor pool
+   serves every scenario;
+4. the ``SweepReport`` is archived as JSON and diffed against a saved
+   baseline with ``repro.sweep.diff_reports`` — the same machinery as
+   ``repro report diff --fail-on-regression`` in CI.
+
+Run:  python examples/sweep_matrix.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.session import Session, SessionConfig, load_profiles
+from repro.sweep import SweepPlan, SweepReport, diff_reports, load_report
+
+MATRIX_TOML = """\
+[architecture]
+arch = "maeri"
+ms_size = 128
+
+[tuning]
+mapping = "mrna"
+
+# The edge deployment: a quarter of the multipliers, inline execution.
+[profile.edge.architecture]
+ms_size = 32
+
+[profile.edge.engine]
+executor = "serial"
+
+# The cloud deployment: full fabric, a parallel worker pool.
+[profile.cloud.engine]
+executor = "process"
+max_workers = 2
+"""
+
+workdir = Path(tempfile.mkdtemp(prefix="sweep_matrix_"))
+config_path = workdir / "matrix.toml"
+config_path.write_text(MATRIX_TOML)
+print(f"matrix config: {config_path}")
+
+# 1-3. Expand and execute the matrix in one session. --------------------
+base = SessionConfig.from_file(config_path)
+plan = SweepPlan.matrix(
+    base,
+    models=["mlp", "lenet", "vgg_small"],
+    profiles=load_profiles(config_path),
+)
+print(f"plan: {len(plan)} scenarios "
+      f"({', '.join(s.name for s in plan)})")
+
+with Session(base) as session:
+    report = session.sweep(plan)
+    # Re-sweeping the same matrix is free: every evaluation is a cache
+    # hit (the same cross-run saving a shared .sqlite cache_path gives
+    # you between processes).
+    warm = session.sweep(plan)
+
+print()
+print(report.summary())
+print(f"warm re-sweep: {warm.counters['num_simulations']} simulations, "
+      f"{warm.counters['cache_hits']} cache hits")
+assert warm.counters["num_simulations"] == 0
+
+# The edge profile changes the hardware (ms_size = 32), so its key
+# space is disjoint from cloud's — but scenarios that *share* hardware
+# dedup against each other: profiles differing only in execution knobs
+# simulate their common layers once (see tests/test_sweep.py).
+
+# The typed report answers the sweep's questions directly.
+best = report.best("total_cycles")
+print(f"\nfastest cell: {best.name} ({best.report.total_cycles:,} cycles)")
+edge_only = report.filter(profile="edge")
+print(f"edge rows: {', '.join(edge_only.names)}")
+
+# 4. Archive, reload, and diff against the saved baseline. --------------
+baseline_path = workdir / "baseline.json"
+baseline_path.write_text(report.to_json() + "\n")
+reloaded = load_report(baseline_path)
+assert isinstance(reloaded, SweepReport)
+assert reloaded.to_json() == report.to_json()
+print(f"\nbaseline archived: {baseline_path}")
+
+diff = diff_reports(reloaded, report)
+print(f"diff vs baseline: "
+      f"{'zero delta' if diff.is_zero else diff.summary()}")
+assert diff.is_zero
+print("sweep report JSON round-trip and self-diff verified")

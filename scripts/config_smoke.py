@@ -28,7 +28,7 @@ ROOT = Path(__file__).resolve().parent.parent
 SRC = str(ROOT / "src")
 sys.path.insert(0, SRC)
 
-from repro.session import SessionConfig  # noqa: E402
+from repro.session import SessionConfig, load_profiles  # noqa: E402
 
 TOML = """\
 [architecture]
@@ -43,6 +43,12 @@ max_rows = 500
 
 [tuning]
 mapping = "mrna"
+
+[profile.edge.architecture]
+ms_size = 32
+
+[profile.cloud.engine]
+max_workers = 4
 """
 
 
@@ -97,6 +103,20 @@ def main() -> int:
         reshown = run_cli("config", "show", "--json", "--config", str(snapshot))
         assert SessionConfig.from_dict(json.loads(reshown)) == config
         print("config show TOML round-trips as a --config file")
+
+        # ... and it preserves the [profile.X] sections: the snapshot's
+        # profiles stay selectable and resolve identically to the
+        # original file's.
+        shown_text = snapshot.read_text()
+        assert "[profile.edge.architecture]" in shown_text, shown_text
+        assert load_profiles(snapshot) == load_profiles(toml_path)
+        edge = run_cli("config", "show", "--json", "--config", str(snapshot),
+                       "--profile", "edge")
+        assert json.loads(edge)["architecture"]["ms_size"] == 32
+        assert SessionConfig.from_file(snapshot, profile="cloud") == (
+            SessionConfig.from_file(toml_path, profile="cloud")
+        )
+        print("config show renders [profile.X] TOML that round-trips")
 
         # 3. run --config == run with the equivalent explicit flags.
         from_file = run_cli("run", "lenet", "--config", str(toml_path))

@@ -1,0 +1,105 @@
+"""CI smoke test for the sweep surface (keeps `repro sweep` load-bearing).
+
+Runs a 2-model x 2-profile matrix through the CLI with the process
+executor, then proves the two sweep guarantees end to end:
+
+1. cross-scenario dedup: the archived SweepReport's counters show
+   strictly fewer simulations than evaluations (shared layers simulated
+   once across the matrix);
+2. diffability: `repro report diff` of the report against itself is a
+   zero delta and exits 0 under `--fail-on-regression 0`, and a
+   doctored regression trips the gate with exit 3.
+
+Run:  PYTHONPATH=src python scripts/sweep_smoke.py
+Exit: 0 on success, 1 on any mismatch.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = str(ROOT / "src")
+sys.path.insert(0, SRC)
+
+TOML = """\
+[architecture]
+arch = "maeri"
+ms_size = 128
+
+[profile.edge.engine]
+executor = "serial"
+
+[profile.cloud.engine]
+max_workers = 2
+"""
+
+
+def run_cli(*argv, expect=0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, cwd=str(ROOT),
+    )
+    if proc.returncode != expect:
+        raise SystemExit(
+            f"FAIL: repro {' '.join(argv)} exited {proc.returncode} "
+            f"(expected {expect})\n{proc.stdout}{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        toml_path = Path(tmp) / "matrix.toml"
+        toml_path.write_text(TOML)
+        report_path = Path(tmp) / "sweep.json"
+
+        # 1. A 2x2 sweep on the process executor, archived as JSON.
+        out = run_cli(
+            "sweep", "--config", str(toml_path),
+            "--profiles", "edge,cloud", "--models", "mlp,lenet",
+            "--executor", "process", "--max-workers", "2",
+            "--report-json", str(report_path),
+        )
+        assert "mlp/edge" in out and "lenet/cloud" in out, out
+        report = json.loads(report_path.read_text())
+        counters = report["counters"]
+        assert counters["num_simulations"] < counters["num_evaluations"], (
+            f"no cross-scenario dedup: {counters}"
+        )
+        print(
+            f"2x2 sweep ran on --executor process: "
+            f"{counters['num_simulations']} simulations for "
+            f"{counters['num_evaluations']} evaluations (dedup worked)"
+        )
+
+        # 2. Self-diff is a zero delta and passes the tightest gate.
+        out = run_cli(
+            "report", "diff", str(report_path), str(report_path),
+            "--fail-on-regression", "0",
+        )
+        assert "no differences" in out, out
+        print("report diff vs itself: zero delta, exit 0")
+
+        # 3. A doctored regression trips the gate with exit code 3.
+        doctored = json.loads(report_path.read_text())
+        doctored["scenarios"][0]["report"]["layer_stats"][0]["cycles"] *= 2
+        worse_path = Path(tmp) / "worse.json"
+        worse_path.write_text(json.dumps(doctored))
+        run_cli(
+            "report", "diff", str(report_path), str(worse_path),
+            "--fail-on-regression", "5", expect=3,
+        )
+        print("doctored regression trips --fail-on-regression with exit 3")
+
+    print("sweep smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ strategy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from enum import Enum
 from typing import Dict, Optional, Union
 
@@ -58,7 +58,7 @@ class MappingConfigurator:
     seed: int = 0
     manual: Dict[str, Mapping] = field(default_factory=dict)
     engine: Optional[EvaluationEngine] = field(default=None, repr=False)
-    _cache: Dict[str, Mapping] = field(default_factory=dict)
+    _cache: Dict[tuple, Mapping] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.strategy = MappingStrategy(self.strategy)
@@ -74,11 +74,27 @@ class MappingConfigurator:
             mapping = self.manual[layer.name]
             self._check_kind(layer, mapping)
             return mapping
-        if layer.name in self._cache:
-            return self._cache[layer.name]
+        # Cache by layer *structure*, not name: two models in one
+        # session (or one sweep) may both have an "fc1" with different
+        # shapes, and identically shaped layers under different names
+        # should share one tuned mapping.
+        key = self._structural_key(layer)
+        if key in self._cache:
+            return self._cache[key]
         mapping = self._generate(layer)
-        self._cache[layer.name] = mapping
+        self._cache[key] = mapping
         return mapping
+
+    @staticmethod
+    def _structural_key(layer: Layer) -> tuple:
+        return (
+            type(layer).__name__,
+            tuple(
+                getattr(layer, f.name)
+                for f in dataclass_fields(layer)
+                if f.name != "name"
+            ),
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

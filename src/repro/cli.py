@@ -16,9 +16,17 @@ Subcommands:
 * ``tune`` — tune one layer's mapping with a chosen tuner/objective;
 * ``compare`` — default vs AutoTVM vs mRNA mappings for a zoo model's
   accelerated layers (the Figure 12 view);
+* ``sweep`` — run a whole scenario matrix (``--models`` × ``--profiles``
+  × ``--axis`` overrides) in one session: evaluations are flattened
+  across scenarios so shared layers simulate once and the executor
+  tiers stay saturated; ``--report-json`` archives the SweepReport;
+* ``report diff`` — typed per-scenario cycle/energy deltas between two
+  archived report files, with ``--fail-on-regression PCT`` for CI
+  gating (exit 3 past the threshold);
 * ``config show [--json]`` — print the fully-resolved effective config
-  (the text form is valid TOML, so ``repro config show > repro.toml``
-  produces a working ``--config`` file);
+  (the text form is valid TOML — including any ``[profile.X]`` sections
+  of the source file — so ``repro config show > repro.toml`` produces a
+  working ``--config`` file);
 * ``worker`` — a fleet worker daemon serving simulation batches over
   TCP (its cache settings come from the same config sections);
 * ``cache`` — maintenance of persistent stats caches (``compact``).
@@ -142,15 +150,104 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    """Execute a scenario matrix: models × profiles × axis overrides."""
+    from repro.session import Session, config_from_args, load_profiles
+    from repro.sweep import SweepPlan
+
+    config = config_from_args(args)
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    profiles = None
+    if args.profiles:
+        if not args.config:
+            print("error: --profiles requires --config (profiles live in "
+                  "the config file)", file=sys.stderr)
+            return 2
+        names = [p.strip() for p in args.profiles.split(",") if p.strip()]
+        available = load_profiles(args.config)
+        missing = [name for name in names if name not in available]
+        if missing:
+            print(f"error: config file {args.config} defines no profile "
+                  f"{', '.join(missing)}; available: "
+                  f"{', '.join(sorted(available)) or '(none)'}",
+                  file=sys.stderr)
+            return 2
+        profiles = {name: available[name] for name in names}
+    axes = {}
+    for item in args.axis or []:
+        key, sep, values = item.partition("=")
+        if not sep or not values:
+            print(f"error: --axis expects KEY=V1,V2,..., got {item!r}",
+                  file=sys.stderr)
+            return 2
+        if key in axes:
+            print(f"error: --axis {key} given twice; list every value in "
+                  f"one flag ({key}=V1,V2,...)", file=sys.stderr)
+            return 2
+        axes[key] = [v.strip() for v in values.split(",") if v.strip()]
+    plan = SweepPlan.matrix(config, models=models, profiles=profiles,
+                            axes=axes or None)
+    with Session(config) as session:
+        _print_corrections(session)
+        report = session.sweep(plan)
+        print(report.summary(metric=args.metric))
+        if args.report_json:
+            from pathlib import Path
+
+            Path(args.report_json).write_text(report.to_json() + "\n")
+            print(f"sweep report written to {args.report_json}")
+        _print_cache_report(session.engine, config.cache.path)
+        _print_fleet_report(session.engine)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Diff archived report JSON files (run/tune/compare/sweep)."""
+    from repro.sweep import diff_reports, load_report
+
+    if args.report_command == "diff":
+        diff = diff_reports(load_report(args.before), load_report(args.after))
+        if args.json:
+            print(diff.to_json())
+        else:
+            print(diff.summary())
+        if args.fail_on_regression is not None:
+            if diff.only_before:
+                # A benchmark that vanished from the candidate report
+                # must not read as "no regression".
+                print(f"error: scenario(s) missing from the after "
+                      f"report: {', '.join(diff.only_before)}",
+                      file=sys.stderr)
+                return 3
+            if diff.max_regression > args.fail_on_regression:
+                print(f"error: max regression "
+                      f"{diff.max_regression:+.2f}% exceeds the "
+                      f"--fail-on-regression {args.fail_on_regression:g}% "
+                      f"gate", file=sys.stderr)
+                return 3
+        return 0
+    print(f"error: unknown report command {args.report_command!r}",
+          file=sys.stderr)
+    return 2
+
+
 def _cmd_config(args) -> int:
-    from repro.session import config_from_args
+    from repro.session import config_from_args, load_profiles
 
     config = config_from_args(args)
     if args.config_command == "show":
         if args.json:
             print(config.to_json())
         else:
-            print(config.to_toml(), end="")
+            # Text form is valid TOML for --config; profiles defined by
+            # the source file are re-emitted as [profile.X.section]
+            # tables so the snapshot keeps them selectable.
+            profiles = (
+                load_profiles(args.config)
+                if getattr(args, "config", None)
+                else {}
+            )
+            print(config.to_toml(profiles=profiles), end="")
         return 0
     print(f"error: unknown config command {args.config_command!r}",
           file=sys.stderr)
@@ -203,10 +300,23 @@ layered configuration:
       repro run alexnet --config repro.toml
       REPRO_EXECUTOR=process repro run alexnet
 
+scenario matrices:
+  One config file can hold named profiles ([profile.edge],
+  [profile.cloud]); `repro sweep` expands models x profiles x axis
+  overrides and executes the whole matrix in one session — shared
+  layers simulate once and a process pool or fleet sees one wide
+  batch instead of many small ones:
+      repro sweep --config m.toml --profiles edge,cloud \\
+          --models mlp,lenet --axis architecture.ms_size=64,128 \\
+          --executor process --report-json sweep.json
+  Archived reports diff (and gate CI):
+      repro report diff baseline.json sweep.json --fail-on-regression 5
+
 distributed sweeps:
-  Start one worker daemon per machine (or core group):
+  Start one worker daemon per machine (or core group) — or let the
+  session do it with `fleet_autostart = N` in the [fleet] section:
       repro worker --listen 0.0.0.0:9461 --cache-path shared.sqlite
-  then point any run/tune/compare at the fleet:
+  then point any run/tune/compare/sweep at the fleet:
       repro tune alexnet conv1 --objective cycles \\
           --workers hostA:9461,hostB:9461 --cache-path sweep.sqlite
   The remote executor shards each evaluation batch across the workers,
@@ -252,6 +362,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("model", choices=MODELS)
     add_config_arguments(compare)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario matrix (models x profiles x axis overrides) "
+             "with cross-scenario batching and dedup",
+    )
+    sweep.add_argument(
+        "--models", required=True, metavar="M1,M2,...",
+        help=f"comma-separated zoo models ({', '.join(MODELS)})")
+    add_config_arguments(sweep)
+    sweep.add_argument(
+        "--profiles", metavar="P1,P2,...",
+        help="config profiles from the --config file to expand over "
+             "([profile.P1], [profile.P2], ...)")
+    sweep.add_argument(
+        "--axis", action="append", metavar="KEY=V1,V2,...",
+        help="sweep a config knob over values (dotted section.name or "
+             "flat key; repeatable, axes cross-multiply)")
+    sweep.add_argument(
+        "--metric", default="total_cycles",
+        help="summary-table metric (default total_cycles)")
+    sweep.add_argument(
+        "--report-json", dest="report_json", metavar="FILE",
+        help="also write the structured SweepReport as JSON "
+             "(diffable via: repro report diff)")
+
     config = sub.add_parser(
         "config",
         help="inspect the layered session configuration",
@@ -280,6 +415,27 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--quiet", action="store_true", help="suppress the startup banner")
 
+    report = sub.add_parser(
+        "report", help="work with archived report JSON files"
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    diff = report_sub.add_parser(
+        "diff",
+        help="typed per-scenario cycle/energy deltas between two report "
+             "files (RunReport or SweepReport JSON); gate CI with "
+             "--fail-on-regression",
+    )
+    diff.add_argument("before", help="baseline report JSON")
+    diff.add_argument("after", help="candidate report JSON")
+    diff.add_argument(
+        "--fail-on-regression", dest="fail_on_regression", type=float,
+        metavar="PCT", default=None,
+        help="exit 3 when any metric regresses by more than PCT percent "
+             "(or a baseline scenario is missing from the after report)")
+    diff.add_argument(
+        "--json", action="store_true",
+        help="emit the structured diff as JSON instead of the table")
+
     cache = sub.add_parser(
         "cache", help="maintain persistent stats caches"
     )
@@ -302,6 +458,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
         "config": _cmd_config,
         "worker": _cmd_worker,
         "cache": _cmd_cache,

@@ -88,6 +88,7 @@ from repro.engine.cache import (
     make_stats_cache,
 )
 from repro.engine.evaluation import (
+    BatchPlan,
     EvalRequest,
     EvaluationEngine,
     evaluation_key,
@@ -96,6 +97,7 @@ from repro.engine.evaluation import (
 from repro.engine.sqlite_cache import SqliteStatsCache
 
 __all__ = [
+    "BatchPlan",
     "EvalRequest",
     "EvaluationEngine",
     "ExecutorBackend",

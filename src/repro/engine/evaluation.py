@@ -29,7 +29,7 @@ import hashlib
 import json
 import threading
 from dataclasses import asdict, dataclass, fields
-from typing import Hashable, Iterable, List, Optional, Tuple, Union
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.stonne.controller import AcceleratorController, make_controller
@@ -104,6 +104,91 @@ class EvalRequest:
 
     layer: Layer
     mapping: Optional[Mapping] = None
+
+
+class BatchPlan:
+    """A planned ``evaluate_many`` call whose misses are still pending.
+
+    Produced by :meth:`EvaluationEngine.plan_many`: cache hits are
+    resolved immediately into :attr:`results`, batch-internal duplicate
+    keys are parked, and the deduplicated misses wait in the plan until
+    :meth:`EvaluationEngine.run_plans` executes them.  Splitting the two
+    phases is what lets a sweep driver collect the plans of *several*
+    scenarios first and then flatten all their misses into one executor
+    batch — cross-scenario duplicates simulate once and the pool sees
+    the widest possible batch.
+    """
+
+    __slots__ = (
+        "engine",
+        "requests",
+        "results",
+        "_pending",
+        "_duplicates",
+        "_miss_stats",
+        "_miss_errors",
+    )
+
+    def __init__(self, engine: "EvaluationEngine", requests: List[EvalRequest]):
+        self.engine = engine
+        self.requests = requests
+        #: One slot per request; hits are filled at plan time, misses
+        #: (and their duplicates) after :meth:`EvaluationEngine.run_plans`.
+        self.results: List[Optional[SimulationStats]] = [None] * len(requests)
+        self._pending: List[Tuple[Optional[Hashable], int]] = []
+        self._duplicates: List[Tuple[int, Hashable]] = []
+        self._miss_stats: dict = {}
+        self._miss_errors: dict = {}
+
+    @property
+    def num_pending(self) -> int:
+        """Deduplicated misses still waiting for execution."""
+        return len(self._pending)
+
+    def counters(self) -> dict:
+        """This plan's own bookkeeping (scenario-scoped, unlike the
+        engine's cumulative :meth:`EvaluationEngine.counters`).
+
+        ``cache_hits`` counts results resolved at plan time,
+        ``batch_duplicates`` the in-plan repeats of a pending key, and
+        ``unique_misses`` the work this plan contributed to the flattened
+        batch — which may still simulate on another plan's behalf (the
+        engine, not the plan, knows what actually ran).
+        """
+        return {
+            "num_evaluations": len(self.requests),
+            "cache_hits": (
+                len(self.requests)
+                - len(self._pending)
+                - len(self._duplicates)
+            ),
+            "batch_duplicates": len(self._duplicates),
+            "unique_misses": len(self._pending),
+        }
+
+    def _record(self, position: int, key, payload) -> None:
+        """Store one executed miss (stats or captured exception)."""
+        if isinstance(payload, Exception):
+            self._miss_errors[key] = payload
+        else:
+            self._miss_stats[key] = payload
+        self.results[position] = payload
+
+    def _resolve_duplicates(self) -> None:
+        """Fill the parked duplicate slots from the cache (or the
+        batch-local result when the LRU bound already evicted it)."""
+        for position, key in self._duplicates:
+            if key in self._miss_errors:
+                # The first occurrence failed; its error stands in here too.
+                self.results[position] = self._miss_errors[key]
+                continue
+            cached = self.engine.cache.get(key)
+            if cached is None:
+                # Already evicted (LRU bound smaller than the batch's
+                # distinct misses); serve the batch-local result instead.
+                cached = self._miss_stats[key].clone()
+            cached.layer_name = self.requests[position].layer.name
+            self.results[position] = cached
 
 
 class EvaluationEngine:
@@ -248,6 +333,128 @@ class EvaluationEngine:
             self._override_backends[key] = backend
         return backend
 
+    def plan_many(
+        self, requests: Iterable[Union[EvalRequest, Layer]]
+    ) -> BatchPlan:
+        """Resolve a batch's cache hits and collect its pending misses.
+
+        The first half of :meth:`evaluate_many`: bare layers are
+        normalized to mapping-less requests, cache hits fill their
+        result slots immediately, batch-internal duplicate keys are
+        parked, and the deduplicated misses wait in the returned
+        :class:`BatchPlan` until :meth:`run_plans` executes them.
+        Sweep drivers call this once per scenario and then run every
+        plan in one flattened executor batch.
+        """
+        normalized: List[EvalRequest] = [
+            r if isinstance(r, EvalRequest) else EvalRequest(layer=r)
+            for r in requests
+        ]
+        for request in normalized:
+            if not isinstance(request.layer, (ConvLayer, FcLayer, GemmLayer)):
+                raise SimulationError(
+                    f"EvaluationEngine expects ConvLayer/FcLayer/GemmLayer, "
+                    f"got {type(request.layer).__name__}"
+                )
+        plan = BatchPlan(self, normalized)
+        with self._counter_lock:
+            self.num_evaluations += len(normalized)
+
+        if not self.cache_enabled:
+            # No keys, no dedup: every request simulates.
+            plan._pending = [(None, position) for position in range(len(normalized))]
+            return plan
+
+        pending_keys: set = set()
+        for position, request in enumerate(normalized):
+            key = evaluation_key(self._fingerprint, request.layer, request.mapping)
+            if key in pending_keys:
+                # Resolved from the cache after the first occurrence runs,
+                # mirroring what a serial loop would do.
+                plan._duplicates.append((position, key))
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                cached.layer_name = request.layer.name
+                plan.results[position] = cached
+            else:
+                pending_keys.add(key)
+                plan._pending.append((key, position))
+        return plan
+
+    def run_plans(
+        self,
+        plans: Sequence[BatchPlan],
+        max_workers: Optional[int] = None,
+        executor: Union[str, ExecutorBackend, None] = None,
+        return_errors: bool = False,
+    ) -> None:
+        """Execute the pending misses of one or more plans as one batch.
+
+        The misses of every plan are flattened into a single backend
+        batch with *cross-plan* key dedup — a layer shared by several
+        plans (scenarios of a sweep) simulates exactly once and every
+        plan receives an independently attributed copy.  Results merge
+        into the cache and into each plan's ``results``; parked
+        duplicates resolve afterwards.
+
+        Per-request failures abort by re-raising the first one unless
+        ``return_errors`` is True, in which case the failed slots hold
+        the exception instances instead of stats (every plan is still
+        fully resolved before the raise).
+        """
+        for plan in plans:
+            if plan.engine is not self:
+                raise SimulationError(
+                    "run_plans received a BatchPlan built by a different engine"
+                )
+        work: List[Tuple[Optional[Hashable], EvalRequest]] = []
+        owners: List[List[Tuple[BatchPlan, int]]] = []
+        slot_by_key: dict = {}
+        for plan in plans:
+            for key, position in plan._pending:
+                if key is not None:
+                    slot = slot_by_key.get(key)
+                    if slot is not None:
+                        owners[slot].append((plan, position))
+                        continue
+                    slot_by_key[key] = len(work)
+                work.append((key, plan.requests[position]))
+                owners.append([(plan, position)])
+
+        backend = self._resolve_backend(executor, max_workers)
+        workers = max_workers if max_workers is not None else self.max_workers
+        first_error: Optional[Exception] = None
+        simulated = 0
+        if work:
+            run = backend.run(self, work, max_workers=workers)
+            for slot, (key, payload) in enumerate(run):
+                if isinstance(payload, Exception):
+                    if first_error is None:
+                        first_error = payload
+                    for plan, position in owners[slot]:
+                        plan._record(position, key, payload)
+                else:
+                    simulated += 1
+                    if self.cache_enabled and key is not None:
+                        self.cache.put(key, payload)
+                    for index, (plan, position) in enumerate(owners[slot]):
+                        stats = payload
+                        if index > 0:
+                            # Cross-plan shared result: every other plan
+                            # gets an independent, re-attributed copy.
+                            stats = payload.clone()
+                            stats.layer_name = (
+                                plan.requests[position].layer.name
+                            )
+                        plan._record(position, key, stats)
+        with self._counter_lock:
+            self.num_simulations += simulated
+        for plan in plans:
+            plan._resolve_duplicates()
+        if first_error is not None and not return_errors:
+            raise first_error
+
     def evaluate_many(
         self,
         requests: Iterable[Union[EvalRequest, Layer]],
@@ -262,104 +469,24 @@ class EvaluationEngine:
         so a key appearing twice in one batch simulates once — run on the
         executor backend (the engine's, or a per-call override via
         ``executor``/``max_workers``) and merge back into the cache.
+        Internally this is a single-plan sweep batch:
+        :meth:`plan_many` followed by :meth:`run_plans`, the same path
+        multi-scenario sweeps use.
 
         Per-request failures abort the batch by re-raising the first one
         unless ``return_errors`` is True, in which case the failed slots
         hold the exception instances instead of stats.
         """
-        normalized: List[EvalRequest] = [
-            r if isinstance(r, EvalRequest) else EvalRequest(layer=r)
-            for r in requests
-        ]
-        if not normalized:
+        plan = self.plan_many(requests)
+        if not plan.requests:
             return []
-        for request in normalized:
-            if not isinstance(request.layer, (ConvLayer, FcLayer, GemmLayer)):
-                raise SimulationError(
-                    f"EvaluationEngine expects ConvLayer/FcLayer/GemmLayer, "
-                    f"got {type(request.layer).__name__}"
-                )
-        backend = self._resolve_backend(executor, max_workers)
-        workers = max_workers if max_workers is not None else self.max_workers
-        with self._counter_lock:
-            self.num_evaluations += len(normalized)
-
-        results: List[Optional[SimulationStats]] = [None] * len(normalized)
-
-        if not self.cache_enabled:
-            run = backend.run(
-                self,
-                [(None, request) for request in normalized],
-                max_workers=workers,
-            )
-            simulated = 0
-            for position, (_, payload) in enumerate(run):
-                if isinstance(payload, Exception):
-                    if not return_errors:
-                        raise payload
-                    results[position] = payload
-                else:
-                    simulated += 1
-                    results[position] = payload
-            with self._counter_lock:
-                self.num_simulations += simulated
-            return results
-
-        misses: List[Tuple[Hashable, EvalRequest]] = []
-        miss_positions: List[int] = []
-        pending: set = set()
-        duplicates: List[Tuple[int, Hashable]] = []
-        for position, request in enumerate(normalized):
-            key = evaluation_key(self._fingerprint, request.layer, request.mapping)
-            if key in pending:
-                # Resolved from the cache after the first occurrence runs,
-                # mirroring what a serial loop would do.
-                duplicates.append((position, key))
-                continue
-            cached = self.cache.get(key)
-            if cached is not None:
-                cached.layer_name = request.layer.name
-                results[position] = cached
-            else:
-                pending.add(key)
-                misses.append((key, request))
-                miss_positions.append(position)
-
-        miss_errors: dict = {}
-        miss_stats: dict = {}
-        if misses:
-            run = backend.run(self, misses, max_workers=workers)
-            simulated = 0
-            first_error: Optional[Exception] = None
-            for position, (key, payload) in zip(miss_positions, run):
-                if isinstance(payload, Exception):
-                    if first_error is None:
-                        first_error = payload
-                    miss_errors[key] = payload
-                    results[position] = payload
-                else:
-                    simulated += 1
-                    self.cache.put(key, payload)
-                    miss_stats[key] = payload
-                    results[position] = payload
-            with self._counter_lock:
-                self.num_simulations += simulated
-            if first_error is not None and not return_errors:
-                raise first_error
-
-        for position, key in duplicates:
-            if key in miss_errors:
-                # The first occurrence failed; its error stands in here too.
-                results[position] = miss_errors[key]
-                continue
-            cached = self.cache.get(key)
-            if cached is None:
-                # Already evicted (LRU bound smaller than the batch's
-                # distinct misses); serve the batch-local result instead.
-                cached = miss_stats[key].clone()
-            cached.layer_name = normalized[position].layer.name
-            results[position] = cached
-        return results
+        self.run_plans(
+            [plan],
+            max_workers=max_workers,
+            executor=executor,
+            return_errors=return_errors,
+        )
+        return plan.results
 
     # ------------------------------------------------------------------
     @property

@@ -52,3 +52,7 @@ class TuningError(ReproError):
 
 class SimulationError(ReproError):
     """The cycle-level simulation entered an inconsistent state."""
+
+
+class FleetError(ReproError):
+    """A fleet worker daemon could not be started or managed."""

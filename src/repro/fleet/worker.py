@@ -27,13 +27,18 @@ with :func:`start_worker` (tests, benchmarks, notebooks).
 from __future__ import annotations
 
 import os
+import re
 import socket
 import socketserver
+import subprocess
+import sys
 import threading
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.backends import simulate_layer
 from repro.engine.cache import StatsCache
+from repro.errors import FleetError
 from repro.fleet import protocol
 from repro.stonne.controller import registered_controller_types
 
@@ -206,6 +211,134 @@ def start_worker(
     )
     thread.start()
     return worker, thread
+
+
+class LocalWorkerProcess:
+    """A worker daemon subprocess owned by the spawner (e.g. a Session).
+
+    Wraps the ``repro worker`` subprocess plus the address it bound —
+    parsed from its startup banner, which is why autostarted workers are
+    never ``--quiet``.  :meth:`stop` is the reap: terminate, wait, and
+    escalate to kill if the daemon ignores the signal, so the spawner
+    can guarantee no lingering processes after ``close()``.
+    """
+
+    def __init__(self, process, address: str) -> None:
+        self.process = process
+        self.address = address
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def running(self) -> bool:
+        return self.process.poll() is None
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Terminate and reap the daemon (idempotent)."""
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except Exception:  # subprocess.TimeoutExpired
+                self.process.kill()
+                self.process.wait()
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.running else "stopped"
+        return f"LocalWorkerProcess(pid={self.pid}, {self.address}, {state})"
+
+
+_BANNER_ADDRESS = re.compile(r"listening on (\S+)")
+
+
+def spawn_local_worker(
+    cache_path: Optional[str] = None,
+    cache_max_rows: Optional[int] = None,
+    timeout: float = 30.0,
+) -> LocalWorkerProcess:
+    """Start one ``repro worker`` daemon subprocess on a free port.
+
+    The daemon binds port 0 and reports the chosen address in its
+    startup banner, which this function blocks on (bounded by
+    ``timeout`` — a child wedged before its banner, e.g. on a hung
+    cache mount, is killed rather than hanging the session open) —
+    when it returns, the worker is accepting connections.  The child
+    inherits this interpreter and has the repro package's root
+    prepended to its ``PYTHONPATH``, so source checkouts work without
+    installation.
+    """
+    import repro
+
+    argv = [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--listen", "127.0.0.1:0",
+    ]
+    if cache_path:
+        argv += ["--cache-path", cache_path]
+    if cache_max_rows:
+        argv += ["--cache-max-rows", str(cache_max_rows)]
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    # readline on a pipe has no timeout of its own; do it on a daemon
+    # thread so a pre-banner hang can be bounded and the child killed.
+    first_line: List[str] = []
+    reader = threading.Thread(
+        target=lambda: first_line.append(process.stdout.readline() or ""),
+        daemon=True,
+    )
+    reader.start()
+    reader.join(timeout)
+    banner = first_line[0] if first_line else ""
+    match = _BANNER_ADDRESS.search(banner)
+    if match is None:
+        if process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(timeout=5)
+            except Exception:  # subprocess.TimeoutExpired
+                process.kill()
+                process.wait()
+        detail = (
+            f"output was: {banner.strip()!r}" if first_line
+            else f"no banner within {timeout:g}s"
+        )
+        raise FleetError(
+            f"autostarted worker failed to report its address; {detail}"
+        )
+    return LocalWorkerProcess(process, match.group(1))
+
+
+def spawn_local_workers(
+    count: int,
+    cache_path: Optional[str] = None,
+    cache_max_rows: Optional[int] = None,
+) -> List[LocalWorkerProcess]:
+    """Spawn ``count`` local daemons, reaping the survivors on failure."""
+    workers: List[LocalWorkerProcess] = []
+    try:
+        for _ in range(count):
+            workers.append(
+                spawn_local_worker(
+                    cache_path=cache_path, cache_max_rows=cache_max_rows
+                )
+            )
+    except Exception:
+        for worker in workers:
+            worker.stop()
+        raise
+    return workers
 
 
 def serve(

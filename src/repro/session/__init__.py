@@ -43,6 +43,8 @@ from repro.session.config import (
     env_overrides,
     field_specs,
     known_keys,
+    load_profiles,
+    render_profiles_toml,
 )
 from repro.session.reports import CompareReport, RunReport, TuneReport
 from repro.session.session import Session, ZOO_MODELS, zoo_layers
@@ -67,5 +69,7 @@ __all__ = [
     "env_overrides",
     "field_specs",
     "known_keys",
+    "load_profiles",
+    "render_profiles_toml",
     "zoo_layers",
 ]

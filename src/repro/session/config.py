@@ -29,12 +29,21 @@ Construction forms::
 
 Unknown sections or keys raise :class:`~repro.errors.ConfigError` —
 a typo'd ``[cach]`` heading fails loudly instead of being ignored.
+
+One config file can also carry named **profiles** — ``[profile.edge]``
+/ ``[profile.cloud]`` tables holding partial section overlays — so one
+``repro.toml`` describes a whole sweep matrix.  A profile is selected
+with ``--profile`` (or ``SessionConfig.from_file(path, profile=...)``)
+and merges over the file's base sections *inside* the file layer, so
+env/kwargs/CLI still win; :func:`load_profiles` returns every overlay
+for matrix expansion (:meth:`repro.sweep.SweepPlan.matrix`).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import (
@@ -224,9 +233,21 @@ class FleetConfig:
                             "executor (implies --executor remote; start "
                             "them with: repro worker --listen HOST:PORT)"),
     )
+    autostart: int = field(
+        default=0,
+        metadata=_meta(key="fleet_autostart", kind="int",
+                       help="spawn this many local worker daemons on "
+                            "free ports when the session opens (reaped "
+                            "at close; implies the remote executor "
+                            "unless another one is named)"),
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workers", _coerce_workers(self.workers))
+        if self.autostart < 0:
+            raise ConfigError(
+                f"fleet_autostart must be >= 0, got {self.autostart}"
+            )
 
 
 @dataclass(frozen=True)
@@ -510,9 +531,24 @@ class SessionConfig:
     # file / env layers
     # ------------------------------------------------------------------
     @classmethod
-    def from_file(cls, path: Union[str, os.PathLike]) -> "SessionConfig":
-        """Defaults overlaid with a TOML (or ``.json``) config file."""
-        return cls().merged_with_dict(_load_config_file(path))
+    def from_file(
+        cls,
+        path: Union[str, os.PathLike],
+        profile: Optional[str] = None,
+    ) -> "SessionConfig":
+        """Defaults overlaid with a TOML (or ``.json``) config file.
+
+        ``profile`` selects a named ``[profile.X]`` overlay from the
+        same file, merged on top of the file's base sections (still
+        below the env/kwargs/CLI layers).
+        """
+        base, profiles = _split_profiles(_load_config_file(path), path)
+        config = cls().merged_with_dict(base)
+        if profile is not None:
+            config = config.merged_with_dict(
+                _lookup_profile(profiles, profile, path)
+            )
+        return config
 
     @classmethod
     def from_env(
@@ -527,17 +563,25 @@ class SessionConfig:
         file: Union[str, os.PathLike, None] = None,
         env: Union[Mapping[str, str], bool, None] = None,
         cli: Optional[Mapping[str, Any]] = None,
+        profile: Optional[str] = None,
         **kwargs: Any,
     ) -> "SessionConfig":
         """Merge every layer with the documented precedence.
 
-        ``CLI > kwargs > env > file > defaults``.  ``env`` is
-        ``os.environ`` when None, a mapping to substitute one, or False
-        to skip the environment layer entirely (hermetic construction).
+        ``CLI > kwargs > env > file (profile over base) > defaults``.
+        ``env`` is ``os.environ`` when None, a mapping to substitute
+        one, or False to skip the environment layer entirely (hermetic
+        construction).  ``profile`` selects a ``[profile.X]`` overlay
+        from ``file`` — it is part of the file layer, so env/kwargs/CLI
+        still win over it.
         """
         config = cls()
         if file is not None:
-            config = config.merged_with_dict(_load_config_file(file))
+            config = cls.from_file(file, profile=profile)
+        elif profile is not None:
+            raise ConfigError(
+                f"profile {profile!r} requested but no config file given"
+            )
         if env is not False:
             config = config.with_overrides(
                 **env_overrides(None if env is None else env)
@@ -554,11 +598,17 @@ class SessionConfig:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
-    def to_toml(self) -> str:
+    def to_toml(
+        self, profiles: Optional[Mapping[str, Mapping[str, Any]]] = None
+    ) -> str:
         """Render as TOML text that :meth:`from_file` accepts, so
         ``repro config show > repro.toml`` produces a working file.
 
         Unset optional keys are emitted as comments (TOML has no null).
+        ``profiles`` (name -> nested section overlay, the shape returned
+        by :func:`load_profiles`) are appended as ``[profile.X.section]``
+        tables, so a snapshot of a profile-bearing file keeps its
+        profiles selectable via ``--profile``.
         """
         lines: List[str] = []
         for section, _ in _SECTION_TYPES:
@@ -569,16 +619,11 @@ class SessionConfig:
                 value = getattr(getattr(self, section), spec.name)
                 if value is None:
                     lines.append(f"# {spec.name} = (unset)")
-                elif isinstance(value, bool):
-                    lines.append(f"{spec.name} = {'true' if value else 'false'}")
-                elif isinstance(value, int):
-                    lines.append(f"{spec.name} = {value}")
-                elif isinstance(value, tuple):
-                    rendered = ", ".join(json.dumps(v) for v in value)
-                    lines.append(f"{spec.name} = [{rendered}]")
                 else:
-                    lines.append(f"{spec.name} = {json.dumps(value)}")
+                    lines.append(f"{spec.name} = {_toml_value(value)}")
             lines.append("")
+        if profiles:
+            lines.append(render_profiles_toml(profiles))
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -610,6 +655,111 @@ class SessionConfig:
             arch.rn_bw = a.rn_bw
         config = arch.create_config_file()
         return config, arch.corrections
+
+
+#: File section holding the named config overlays (``[profile.X]``).
+PROFILE_SECTION = "profile"
+
+#: Profile names renderable as bare TOML keys; anything else is quoted.
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _toml_value(value: Any) -> str:
+    """One TOML value literal (the subset the config uses)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, (tuple, list)):
+        return "[" + ", ".join(json.dumps(v) for v in value) + "]"
+    return json.dumps(value)
+
+
+def _toml_key(name: str) -> str:
+    return name if _BARE_KEY.match(name) else json.dumps(name)
+
+
+def render_profiles_toml(
+    profiles: Mapping[str, Mapping[str, Any]]
+) -> str:
+    """``[profile.X.section]`` tables that :meth:`SessionConfig.from_file`
+    accepts back, so ``repro config show`` snapshots keep their profiles."""
+    lines: List[str] = []
+    for name, overlay in profiles.items():
+        for section, values in overlay.items():
+            lines.append(f"[{PROFILE_SECTION}.{_toml_key(name)}.{section}]")
+            for key, value in values.items():
+                if value is None:
+                    lines.append(f"# {key} = (unset)")
+                else:
+                    lines.append(f"{key} = {_toml_value(value)}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def _split_profiles(
+    data: Mapping[str, Any], path: Union[str, os.PathLike, None] = None
+) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+    """Separate a raw config-file dict into (base sections, profiles).
+
+    Every profile overlay is validated eagerly (a typo'd key in an
+    *unselected* profile still fails loudly), so any profile the file
+    offers is known-good by the time a sweep expands over it.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"config data must be a mapping of sections, got {type(data).__name__}"
+        )
+    base = {k: v for k, v in data.items() if k != PROFILE_SECTION}
+    raw = data.get(PROFILE_SECTION, {})
+    if not isinstance(raw, Mapping):
+        raise ConfigError(
+            f"config section {PROFILE_SECTION!r} must be a table of named "
+            f"profiles, got {type(raw).__name__}"
+        )
+    profiles: Dict[str, Dict[str, Any]] = {}
+    for name, overlay in raw.items():
+        if not isinstance(overlay, Mapping):
+            raise ConfigError(
+                f"profile {name!r} must be a table of config sections, "
+                f"got {type(overlay).__name__}"
+            )
+        try:
+            SessionConfig().merged_with_dict(overlay)
+        except ConfigError as exc:
+            where = f" in {path}" if path is not None else ""
+            raise ConfigError(f"invalid profile {name!r}{where}: {exc}") from None
+        profiles[name] = {
+            section: dict(values) for section, values in overlay.items()
+        }
+    return base, profiles
+
+
+def _lookup_profile(
+    profiles: Mapping[str, Dict[str, Any]],
+    name: str,
+    path: Union[str, os.PathLike, None] = None,
+) -> Dict[str, Any]:
+    if name not in profiles:
+        where = f"config file {path}" if path is not None else "config data"
+        known = ", ".join(sorted(profiles)) or "(none)"
+        raise ConfigError(
+            f"{where} defines no profile {name!r}; available profiles: {known}"
+        )
+    return profiles[name]
+
+
+def load_profiles(
+    path: Union[str, os.PathLike]
+) -> Dict[str, Dict[str, Any]]:
+    """The validated ``[profile.X]`` overlays of a config file.
+
+    Returns ``{name: nested section dict}`` in declaration order —
+    the shape :meth:`SessionConfig.merged_with_dict` accepts and
+    sweep matrices expand over.  Files without profiles return ``{}``.
+    """
+    _, profiles = _split_profiles(_load_config_file(path), path)
+    return profiles
 
 
 def _load_config_file(path: Union[str, os.PathLike]) -> Dict[str, Any]:
@@ -664,6 +814,10 @@ def add_config_arguments(parser) -> None:
         help="layered config file (TOML, or .json); flags given on the "
              "command line override it, which overrides REPRO_* "
              "environment variables")
+    parser.add_argument(
+        "--profile", metavar="NAME", default=None,
+        help="named [profile.NAME] overlay from the --config file, "
+             "merged over its base sections (env and flags still win)")
     for spec in field_specs():
         if not spec.cli:
             continue
@@ -698,5 +852,6 @@ def config_from_args(args) -> SessionConfig:
     """The fully-resolved config for a parsed CLI namespace."""
     return SessionConfig.resolve(
         file=getattr(args, "config", None),
+        profile=getattr(args, "profile", None),
         cli=cli_overrides(args),
     )

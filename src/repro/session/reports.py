@@ -25,8 +25,11 @@ class RunReport:
         architecture: Controller type that executed the run.
         layer_stats: One :class:`~repro.stonne.stats.SimulationStats`
             per offloaded layer, in execution order.
-        counters: Engine counters snapshot (evaluations, simulations,
-            cache hits/misses) taken when the report was built.
+        counters: Bookkeeping for this run.  Sweep-built reports (which
+            includes ``Session.run("<zoo model>")``) carry the
+            *scenario-scoped* plan counters (evaluations, plan-time
+            cache hits, unique misses, executor); graph runs carry the
+            engine's cumulative snapshot.
         outputs: Model output tensors (graph runs only; not serialized).
     """
 
@@ -172,3 +175,24 @@ class CompareReport:
     @classmethod
     def from_json(cls, text: str) -> "CompareReport":
         return cls.from_dict(json.loads(text))
+
+
+def report_from_dict(data: Dict[str, Any]):
+    """Rebuild any single-scenario report from its ``to_dict`` form.
+
+    Dispatches on the ``kind`` tag every report serializes
+    (``run``/``tune``/``compare``); sweep reports nest these per
+    scenario, so :class:`repro.sweep.SweepReport` round-trips through
+    this dispatcher too.
+    """
+    kinds = {
+        "run": RunReport,
+        "tune": TuneReport,
+        "compare": CompareReport,
+    }
+    kind = data.get("kind", "run")
+    if kind not in kinds:
+        raise ValueError(
+            f"unknown report kind {kind!r}; expected one of {sorted(kinds)}"
+        )
+    return kinds[kind].from_dict(data)

@@ -128,34 +128,73 @@ class Session:
         else:
             self._cache = StatsCache(max_entries=cache_cfg.max_entries)
 
-        executor = resolve_executor(
-            config.engine.executor,
-            list(config.fleet.workers) or None,
-            config.engine.max_workers,
-        )
-        self.engine = EvaluationEngine(
-            self.simulator_config,
-            self.params,
-            cache=self._cache,
-            executor=executor,
-            max_workers=config.engine.max_workers,
-            functional=config.engine.functional,
-        )
-        self.mappings = MappingConfigurator(
-            config=self.simulator_config,
-            strategy=MappingStrategy(config.tuning.mapping),
-            objective=config.tuning.objective,
-            tuner_trials=config.tuning.trials,
-            tuner_early_stopping=config.tuning.early_stopping,
-            seed=config.tuning.seed,
-            engine=self.engine,
-        )
-        self.api = StonneBifrostApi(
-            config=self.simulator_config,
-            mappings=self.mappings,
-            params=self.params,
-            _engine=self.engine,
-        )
+        # fleet.autostart: spawn local worker daemons on free ports and
+        # fold their addresses into the fleet, so `fleet_autostart = N`
+        # is all a config needs for a self-contained distributed session.
+        # Skipped when a non-remote executor is explicitly requested —
+        # daemons nothing would talk to must not be spawned.
+        self._fleet_procs: List[Any] = []
+        workers = list(config.fleet.workers)
+        if config.fleet.autostart > 0 and config.engine.executor in (
+            None, "remote",
+        ):
+            from repro.fleet.worker import spawn_local_workers
+
+            try:
+                self._fleet_procs = spawn_local_workers(
+                    config.fleet.autostart,
+                    cache_path=cache_cfg.path,
+                    cache_max_rows=cache_cfg.max_rows,
+                )
+            except BaseException:
+                close = getattr(self._cache, "close", None)
+                if close is not None:
+                    close()
+                raise
+            workers.extend(proc.address for proc in self._fleet_procs)
+
+        # From here on a failure must not leak what was already built:
+        # close() can never run on a half-constructed session, so reap
+        # the autostarted daemons and the cache tier in place.
+        try:
+            executor = resolve_executor(
+                config.engine.executor,
+                workers or None,
+                config.engine.max_workers,
+            )
+            self.engine = EvaluationEngine(
+                self.simulator_config,
+                self.params,
+                cache=self._cache,
+                executor=executor,
+                max_workers=config.engine.max_workers,
+                functional=config.engine.functional,
+            )
+            self.mappings = MappingConfigurator(
+                config=self.simulator_config,
+                strategy=MappingStrategy(config.tuning.mapping),
+                objective=config.tuning.objective,
+                tuner_trials=config.tuning.trials,
+                tuner_early_stopping=config.tuning.early_stopping,
+                seed=config.tuning.seed,
+                engine=self.engine,
+            )
+            self.api = StonneBifrostApi(
+                config=self.simulator_config,
+                mappings=self.mappings,
+                params=self.params,
+                _engine=self.engine,
+            )
+        except BaseException:
+            for proc in self._fleet_procs:
+                proc.stop()
+            engine = getattr(self, "engine", None)
+            if engine is not None:
+                engine.close()
+            close = getattr(self._cache, "close", None)
+            if close is not None:
+                close()
+            raise
         self._installed = False
         self._closed = False
 
@@ -191,19 +230,29 @@ class Session:
         """Deterministic teardown (idempotent).
 
         Uninstalls packed functions if installed, drains the engine's
-        executor pools (thread/process workers, fleet connections), and
+        executor pools (thread/process workers, fleet connections),
         closes persistent cache tiers (SQLite connections, JSONL
-        spills).
+        spills), and reaps any worker daemons ``fleet.autostart``
+        spawned — no lingering processes survive a closed session.
         """
         if self._closed:
             return
         self._closed = True
-        if self._installed:
-            self.uninstall()
-        self.engine.close()
-        close = getattr(self._cache, "close", None)
-        if close is not None:
-            close()
+        try:
+            if self._installed:
+                self.uninstall()
+            self.engine.close()
+            close = getattr(self._cache, "close", None)
+            if close is not None:
+                close()
+        finally:
+            for proc in self._fleet_procs:
+                proc.stop()
+
+    @property
+    def fleet_workers(self) -> List[str]:
+        """Addresses of the worker daemons this session autostarted."""
+        return [proc.address for proc in self._fleet_procs]
 
     @property
     def closed(self) -> bool:
@@ -246,9 +295,11 @@ class Session:
 
         Two forms:
 
-        * ``run("alexnet")`` — a zoo model name: its layer descriptors
-          are simulated in one engine batch (repeated shapes served from
-          the stats cache, misses fanned out on the configured executor).
+        * ``run("alexnet")`` — a zoo model name: executed as a
+          single-scenario sweep, so its layer descriptors are simulated
+          in one engine batch (repeated shapes served from the stats
+          cache, misses fanned out on the configured executor) on the
+          same path multi-scenario matrices use.
         * ``run(module, input_batch)`` — a torch-like module tree plus a
           real input batch: the graph executes end to end with
           conv2d/dense offloaded to the simulated accelerator, and the
@@ -256,13 +307,12 @@ class Session:
         """
         self._check_open()
         if isinstance(model, str):
-            stats = self.run_layers(zoo_layers(model))
-            return RunReport(
-                model=model,
-                architecture=str(self.simulator_config.controller_type.value),
-                layer_stats=stats,
-                counters=self.engine.counters(),
-            )
+            from repro.sweep import SweepPlan
+
+            zoo_layers(model)  # validate the name before planning
+            return self.sweep(
+                SweepPlan.single(self.config, model=model)
+            ).scenarios[0].report
         if input_batch is None:
             raise ReproError(
                 "Session.run(model, input_batch) requires an input batch "
@@ -279,7 +329,7 @@ class Session:
 
     def run_layers(self, layers) -> List:
         """Simulate bare layer descriptors through the session engine
-        (the batch path behind ``run("<zoo model>")``).
+        in one batch (repeated shapes served from the stats cache).
 
         One implementation serves both API generations:
         :func:`repro.bifrost.runner.run_layers` does the work, and this
@@ -320,20 +370,15 @@ class Session:
 
         ``model`` is a zoo model name (then ``layer`` names the layer)
         or a bare :class:`~repro.stonne.layer.ConvLayer` /
-        :class:`~repro.stonne.layer.FcLayer` descriptor.
+        :class:`~repro.stonne.layer.FcLayer` descriptor.  Executes as a
+        single-scenario sweep, so standalone tunes and tune matrices
+        share one measurement path (and one cache key space).
         """
-        from repro.stonne.layer import ConvLayer
-        from repro.tuner import (
-            GATuner,
-            GridSearchTuner,
-            MaeriConvTask,
-            MaeriFcTask,
-            RandomTuner,
-            XGBTuner,
-        )
+        from repro.sweep import SweepPlan
 
         self._check_open()
         model_name: Optional[str] = None
+        target = None
         if isinstance(model, str):
             model_name = model
             layers = {l.name: l for l in zoo_layers(model)}
@@ -342,93 +387,58 @@ class Session:
                     f"model {model!r} has no layer {layer!r}; "
                     f"choose from {sorted(layers)}"
                 )
-            target = layers[layer]
         else:
             target = model
-        tuning = self.config.tuning
-        objective = objective or tuning.objective
-        tuner_name = tuner or tuning.tuner
-        seed = tuning.seed if seed is None else seed
-        if isinstance(target, ConvLayer):
-            task = MaeriConvTask(
-                target, self.simulator_config, objective=objective,
-                engine=self.engine,
+        overrides = {
+            key: value
+            for key, value in (
+                ("tuner", tuner),
+                ("objective", objective),
+                ("trials", trials),
+                ("early_stopping", early_stopping),
+                ("seed", seed),
             )
-        else:
-            task = MaeriFcTask(
-                target, self.simulator_config, objective=objective,
-                engine=self.engine,
-            )
-        tuners = {
-            "grid": GridSearchTuner,
-            "random": RandomTuner,
-            "ga": GATuner,
-            "xgb": XGBTuner,
+            if value is not None
         }
-        if tuner_name not in tuners:
-            raise TuningError(
-                f"tuner must be one of {sorted(tuners)}, got {tuner_name!r}"
-            )
-        result = tuners[tuner_name](task, seed=seed).tune(
-            n_trials=trials if trials is not None else tuning.trials,
-            early_stopping=(
-                early_stopping if early_stopping is not None
-                else tuning.early_stopping
-            ),
+        config = (
+            self.config.with_overrides(**overrides) if overrides
+            else self.config
         )
-        if result.best_config is None:
-            raise TuningError("no valid mapping found")
-        mapping = task.best_mapping(result.best_config)
-        return TuneReport(
-            model=model_name,
-            layer=target.name,
-            objective=objective,
-            tuner=tuner_name,
-            seed=seed,
-            best_mapping=tuple(mapping.as_tuple()),
-            best_cost=result.best_cost,
-            num_trials=result.num_trials,
-            stopped_early=result.stopped_early,
-            records=result.records,
+        plan = SweepPlan.single(
+            config, model=model_name, kind="tune", layer=layer, target=target,
         )
+        return self.sweep(plan).scenarios[0].report
 
     def compare(self, model: str) -> CompareReport:
         """Default vs AutoTVM vs mRNA mappings for a zoo model's
         accelerated layers (the Figure 12 view), as a
-        :class:`CompareReport`."""
-        from repro.mrna import MrnaMapper
-        from repro.stonne.layer import ConvLayer
-        from repro.stonne.mapping import ConvMapping, FcMapping
-        from repro.tuner import GridSearchTuner, MaeriConvTask, MaeriFcTask
+        :class:`CompareReport`.  Executes as a single-scenario sweep."""
+        from repro.sweep import SweepPlan
 
         self._check_open()
-        mapper = MrnaMapper(self.simulator_config)
-        schemes = ("default", "AutoTVM", "mRNA")
-        rows: List[Dict[str, Any]] = []
-        for layer in zoo_layers(model):
-            is_conv = isinstance(layer, ConvLayer)
-            if is_conv:
-                task = MaeriConvTask(
-                    layer, self.simulator_config, objective="psums",
-                    max_options_per_tile=4, engine=self.engine,
-                )
-            else:
-                task = MaeriFcTask(
-                    layer, self.simulator_config, objective="psums",
-                    engine=self.engine,
-                )
-            tuned = task.best_mapping(
-                GridSearchTuner(task).tune(n_trials=10 ** 9).best_config
+        plan = SweepPlan.single(self.config, model=model, kind="compare")
+        return self.sweep(plan).scenarios[0].report
+
+    def sweep(self, plan) -> "SweepReport":
+        """Execute a :class:`~repro.sweep.SweepPlan` across scenarios.
+
+        All scenarios run against this session's resources — one stats
+        cache, one executor backend (process pool / fleet), one engine
+        per distinct hardware configuration — and their pending
+        evaluations are flattened into shared engine batches, so layers
+        shared between scenarios simulate exactly once and the executor
+        tiers stay saturated across the whole matrix.  Returns a
+        :class:`~repro.sweep.SweepReport`.
+        """
+        from repro.sweep import SweepPlan
+        from repro.sweep.runner import SweepRunner
+
+        self._check_open()
+        if not isinstance(plan, SweepPlan):
+            raise ReproError(
+                f"Session.sweep expects a SweepPlan, got {type(plan).__name__}"
             )
-            mrna = mapper.map_conv(layer) if is_conv else mapper.map_fc(layer)
-            basic = ConvMapping.basic() if is_conv else FcMapping.basic()
-            cycles = {
-                "default": self.engine.evaluate(layer, basic).cycles,
-                "AutoTVM": self.engine.evaluate(layer, tuned).cycles,
-                "mRNA": self.engine.evaluate(layer, mrna).cycles,
-            }
-            rows.append({"layer": layer.name, "cycles": cycles})
-        return CompareReport(model=model, schemes=schemes, rows=rows)
+        return SweepRunner(self).execute(plan)
 
     # ------------------------------------------------------------------
     def counters(self) -> Dict[str, Any]:

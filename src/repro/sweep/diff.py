@@ -1,0 +1,246 @@
+"""Typed report diffing: ``repro report diff a.json b.json``.
+
+Archived reports (``RunReport``/``TuneReport``/``CompareReport``/
+``SweepReport`` JSON) become comparable artifacts: :func:`diff_reports`
+aligns two of them scenario by scenario and produces per-metric deltas
+(cycles, energy, tuning cost), and :attr:`ReportDiff.max_regression`
+feeds the ``--fail-on-regression PCT`` CI gate — a branch that slows a
+tracked scenario past the threshold fails the pipeline with a distinct
+exit code.
+
+Every metric here is *higher-is-worse* (cycles, energy, cost), so a
+positive percent delta is a regression and a negative one an
+improvement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.session.reports import (
+    CompareReport,
+    RunReport,
+    TuneReport,
+    report_from_dict,
+)
+from repro.sweep.report import SweepReport
+
+AnyReport = Union[RunReport, TuneReport, CompareReport, SweepReport]
+
+
+def load_report(path: Union[str, Path]) -> AnyReport:
+    """Load any archived report JSON, dispatching on its ``kind`` tag."""
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"report file not found: {p}")
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ReproError(f"invalid JSON in report file {p}: {exc}") from None
+    if not isinstance(data, dict):
+        raise ReproError(f"report file {p} does not hold a report object")
+    if data.get("kind") == "sweep":
+        return SweepReport.from_dict(data)
+    try:
+        return report_from_dict(data)
+    except (KeyError, ValueError) as exc:
+        raise ReproError(f"cannot parse report file {p}: {exc}") from None
+
+
+def _report_metrics(report) -> Dict[str, float]:
+    """The diffable scalar metrics of one single-scenario report."""
+    if isinstance(report, RunReport):
+        from repro.stonne.energy import attach_energy
+
+        return {
+            "cycles": float(report.total_cycles),
+            "energy": float(
+                sum(attach_energy(s.clone()).energy for s in report.layer_stats)
+            ),
+        }
+    if isinstance(report, TuneReport):
+        return {"best_cost": float(report.best_cost)}
+    if isinstance(report, CompareReport):
+        metrics: Dict[str, float] = {}
+        for scheme in report.schemes:
+            metrics[f"cycles[{scheme}]"] = float(
+                sum(row["cycles"][scheme] for row in report.rows)
+            )
+        return metrics
+    raise ReproError(
+        f"cannot diff report of type {type(report).__name__}"
+    )
+
+
+def _as_scenarios(report: AnyReport) -> Dict[str, Dict[str, float]]:
+    """Flatten any report into ``{scenario name: {metric: value}}``."""
+    if isinstance(report, SweepReport):
+        return {
+            scenario.name: _report_metrics(scenario.report)
+            for scenario in report.scenarios
+        }
+    name = getattr(report, "model", None) or getattr(report, "layer", None)
+    return {name or "report": _report_metrics(report)}
+
+
+@dataclass
+class MetricDelta:
+    """One metric's before/after pair (higher is worse)."""
+
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def percent(self) -> float:
+        """Signed percent change; a zero baseline with any growth is an
+        infinite regression (it can never pass a finite gate)."""
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return (self.after - self.before) / self.before * 100.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+            "percent": self.percent,
+        }
+
+
+@dataclass
+class ScenarioDelta:
+    """Every metric delta of one scenario present in both reports."""
+
+    name: str
+    metrics: List[MetricDelta]
+
+    @property
+    def regression_pct(self) -> float:
+        return max((m.percent for m in self.metrics), default=0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "metrics": [m.to_dict() for m in self.metrics],
+        }
+
+
+@dataclass
+class ReportDiff:
+    """The typed comparison of two archived reports."""
+
+    scenarios: List[ScenarioDelta]
+    only_before: List[str] = field(default_factory=list)
+    only_after: List[str] = field(default_factory=list)
+
+    @property
+    def max_regression(self) -> float:
+        """Worst percent increase across every scenario and metric."""
+        return max(
+            (s.regression_pct for s in self.scenarios), default=0.0
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when both reports describe identical measurements."""
+        return (
+            not self.only_before
+            and not self.only_after
+            and all(
+                m.delta == 0 for s in self.scenarios for m in s.metrics
+            )
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "report_diff",
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "only_before": list(self.only_before),
+            "only_after": list(self.only_after),
+            "max_regression_percent": self.max_regression,
+            "zero": self.is_zero,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """Aligned per-scenario metric deltas plus the verdict line."""
+        rows = [("scenario", "metric", "before", "after", "delta", "pct")]
+        for scenario in self.scenarios:
+            for m in scenario.metrics:
+                rows.append(
+                    (
+                        scenario.name,
+                        m.metric,
+                        f"{m.before:,.0f}",
+                        f"{m.after:,.0f}",
+                        f"{m.delta:+,.0f}",
+                        f"{m.percent:+.2f}%" if m.percent != float("inf")
+                        else "+inf%",
+                    )
+                )
+        widths = [max(len(row[i]) for row in rows) for i in range(6)]
+        lines = [
+            "  ".join(
+                cell.ljust(width) if i < 2 else cell.rjust(width)
+                for i, (cell, width) in enumerate(zip(row, widths))
+            ).rstrip()
+            for row in rows
+        ]
+        lines.insert(1, "  ".join("-" * width for width in widths))
+        for name in self.only_before:
+            lines.append(f"only in before: {name}")
+        for name in self.only_after:
+            lines.append(f"only in after: {name}")
+        if self.is_zero:
+            lines.append("no differences")
+        else:
+            lines.append(
+                f"max regression: {self.max_regression:+.2f}%"
+                if self.max_regression != float("inf")
+                else "max regression: +inf%"
+            )
+        return "\n".join(lines)
+
+
+def diff_reports(before: AnyReport, after: AnyReport) -> ReportDiff:
+    """Compare two reports scenario by scenario.
+
+    Scenarios are matched by name (a bare ``RunReport`` counts as one
+    scenario named after its model); metrics present on both sides are
+    diffed, scenarios present on only one side are listed separately so
+    a silently dropped benchmark cannot read as "no regression".
+    """
+    before_scenarios = _as_scenarios(before)
+    after_scenarios = _as_scenarios(after)
+    deltas: List[ScenarioDelta] = []
+    for name, before_metrics in before_scenarios.items():
+        after_metrics = after_scenarios.get(name)
+        if after_metrics is None:
+            continue
+        shared = [
+            MetricDelta(metric, before_metrics[metric], after_metrics[metric])
+            for metric in before_metrics
+            if metric in after_metrics
+        ]
+        deltas.append(ScenarioDelta(name=name, metrics=shared))
+    return ReportDiff(
+        scenarios=deltas,
+        only_before=[
+            name for name in before_scenarios if name not in after_scenarios
+        ],
+        only_after=[
+            name for name in after_scenarios if name not in before_scenarios
+        ],
+    )

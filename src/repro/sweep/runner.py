@@ -1,0 +1,324 @@
+"""Planned cross-scenario execution: one engine batch per hardware config.
+
+The runner is what makes a sweep cheaper than the equivalent shell loop.
+For every scenario it *plans* the evaluations first
+(:meth:`~repro.engine.EvaluationEngine.plan_many` resolves cache hits and
+collects pending misses), then flattens the plans of **all** scenarios
+that share a hardware configuration into one
+:meth:`~repro.engine.EvaluationEngine.run_plans` batch:
+
+* cross-scenario key dedup — a layer shared by several scenarios (two
+  profiles of the same model, two models with a common shape) simulates
+  exactly once;
+* tier saturation — the process pool / fleet sees the union of every
+  scenario's misses as a single wide batch instead of one small batch
+  per run.
+
+Resource sharing is strict: every engine the sweep materializes uses the
+driving session's stats cache and executor backend, so a shared
+``.sqlite`` cache path and one process pool serve the whole matrix.
+Engines are keyed by their config fingerprint — scenarios that differ
+only in non-hardware knobs (tuning budget, cache bounds, executor hints)
+reuse one engine and therefore one key space.
+
+``Session.run``/``tune``/``compare`` construct single-scenario plans and
+execute through this same runner, so there is exactly one measurement
+path to maintain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TuningError
+from repro.session.reports import CompareReport, RunReport, TuneReport
+from repro.sweep.plan import Scenario, SweepPlan
+from repro.sweep.report import ScenarioResult, SweepReport
+
+#: Counter keys aggregated per engine into the sweep-scoped delta.
+_ENGINE_COUNTERS = ("num_evaluations", "num_simulations")
+_CACHE_COUNTERS = ("cache_hits", "cache_misses")
+
+
+class SweepRunner:
+    """Executes a :class:`SweepPlan` against one driving session."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+        #: Engines by (fingerprint, functional); seeded with the
+        #: session's own so single-scenario sweeps are bit-identical to
+        #: the pre-sweep entry points.
+        self._engines: Dict[Tuple[str, bool], Any] = {
+            (session.engine.fingerprint, session.engine.functional):
+                session.engine
+        }
+        self._sim_configs: Dict[Tuple[str, bool], Tuple[Any, List[str]]] = {
+            (session.engine.fingerprint, session.engine.functional):
+                (session.simulator_config, session.corrections)
+        }
+        #: MappingConfigurators by (engine fingerprint, tuning section).
+        self._mappers: Dict[Tuple[str, Any], Any] = {
+            (session.engine.fingerprint, session.config.tuning):
+                session.mappings
+        }
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def _engine_for(self, scenario: Scenario):
+        """The (engine, simulator_config) pair executing ``scenario``.
+
+        Scenarios whose architecture section (and functional flag) match
+        the driving session reuse its engine — which also honours a
+        hand-built ``Session(simulator_config=...)``.  Anything else
+        builds a hardware config from the scenario's architecture
+        section and reuses an engine per fingerprint, always sharing the
+        session's cache and executor backend.
+        """
+        from repro.engine import EvaluationEngine
+
+        session = self.session
+        config = scenario.config
+        if (
+            config.architecture == session.config.architecture
+            and config.engine.functional == session.config.engine.functional
+        ):
+            return session.engine, session.simulator_config
+
+        sim_config, corrections = config.build_simulator_config()
+        engine = EvaluationEngine(
+            sim_config,
+            session.params,
+            cache=session.engine.cache,
+            executor=session.engine.backend,
+            max_workers=session.config.engine.max_workers,
+            functional=config.engine.functional,
+        )
+        key = (engine.fingerprint, engine.functional)
+        if key in self._engines:
+            # Same hardware as an earlier scenario: share its engine (and
+            # key space).  The probe engine holds no resources of its own
+            # — the backend instance above is the session's.
+            return self._engines[key], self._sim_configs[key][0]
+        self._engines[key] = engine
+        self._sim_configs[key] = (sim_config, corrections)
+        return engine, sim_config
+
+    def _mapper_for(self, scenario: Scenario, engine, sim_config):
+        """One MappingConfigurator per (hardware, tuning section)."""
+        from repro.bifrost.mapping_config import (
+            MappingConfigurator,
+            MappingStrategy,
+        )
+
+        tuning = scenario.config.tuning
+        key = (engine.fingerprint, tuning)
+        mapper = self._mappers.get(key)
+        if mapper is None:
+            mapper = MappingConfigurator(
+                config=sim_config,
+                strategy=MappingStrategy(tuning.mapping),
+                objective=tuning.objective,
+                tuner_trials=tuning.trials,
+                tuner_early_stopping=tuning.early_stopping,
+                seed=tuning.seed,
+                engine=engine,
+            )
+            self._mappers[key] = mapper
+        return mapper
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, plan: SweepPlan) -> SweepReport:
+        """Run every scenario, batching run-kind evaluations per engine."""
+        from repro.engine import EvalRequest
+        from repro.session.session import zoo_layers
+
+        baseline = {
+            id(engine): {k: getattr(engine, k) for k in _ENGINE_COUNTERS}
+            for engine in self._engines.values()
+        }
+        cache = self.session.engine.cache
+        cache_baseline = {k: getattr(cache, k.split("_", 1)[1])
+                          for k in _CACHE_COUNTERS}
+
+        # Phase 1: plan every run-kind scenario (cache hits resolve now,
+        # misses stay pending) so phase 2 can flatten across scenarios.
+        entries: List[Tuple[Scenario, Any, Any, Any]] = []
+        batches: Dict[int, Tuple[Any, List[Any]]] = {}
+        for scenario in plan.scenarios:
+            engine, sim_config = self._engine_for(scenario)
+            batch_plan = None
+            if scenario.kind == "run":
+                mapper = self._mapper_for(scenario, engine, sim_config)
+                requests = []
+                for layer in zoo_layers(scenario.model):
+                    mapping = (
+                        mapper.mapping_for(layer)
+                        if engine.requires_mapping
+                        else None
+                    )
+                    requests.append(EvalRequest(layer=layer, mapping=mapping))
+                batch_plan = engine.plan_many(requests)
+                engine_id = id(engine)
+                if engine_id not in batches:
+                    batches[engine_id] = (engine, [])
+                batches[engine_id][1].append(batch_plan)
+            entries.append((scenario, engine, sim_config, batch_plan))
+
+        # Phase 2: one flattened executor batch per distinct hardware
+        # config — cross-scenario duplicates simulate once, and the
+        # process/fleet tier sees the widest possible batch.
+        for engine, batch_plans in batches.values():
+            engine.run_plans(batch_plans)
+
+        # Phase 3: assemble per-scenario reports (tune/compare scenarios
+        # execute here, still through the shared engines and cache).
+        results: List[ScenarioResult] = []
+        for scenario, engine, sim_config, batch_plan in entries:
+            if scenario.kind == "run":
+                # Counters are scenario-scoped (this plan's hits/misses),
+                # not the engine's cumulative snapshot — in a batched
+                # sweep the engine numbers describe the whole matrix and
+                # would repeat identically on every scenario.
+                report: Any = RunReport(
+                    model=scenario.model,
+                    architecture=str(sim_config.controller_type.value),
+                    layer_stats=list(batch_plan.results),
+                    counters={
+                        **batch_plan.counters(),
+                        "executor": engine.backend.name,
+                    },
+                )
+            elif scenario.kind == "tune":
+                report = self._tune_scenario(scenario, engine, sim_config)
+            else:
+                report = self._compare_scenario(scenario, engine, sim_config)
+            results.append(
+                ScenarioResult(
+                    name=scenario.name,
+                    kind=scenario.kind,
+                    report=report,
+                    model=scenario.model,
+                    profile=scenario.profile,
+                    overrides=dict(scenario.overrides),
+                )
+            )
+
+        counters: Dict[str, Any] = {"scenarios": len(plan.scenarios)}
+        for key in _ENGINE_COUNTERS:
+            counters[key] = sum(
+                getattr(engine, key) - baseline.get(id(engine), {}).get(key, 0)
+                for engine in self._engines.values()
+            )
+        for key in _CACHE_COUNTERS:
+            counters[key] = (
+                getattr(cache, key.split("_", 1)[1]) - cache_baseline[key]
+            )
+        return SweepReport(scenarios=results, counters=counters)
+
+    # ------------------------------------------------------------------
+    # scenario kinds beyond plain runs
+    # ------------------------------------------------------------------
+    def _tune_scenario(
+        self, scenario: Scenario, engine, sim_config
+    ) -> TuneReport:
+        """Tune one layer's mapping under the scenario's tuning config."""
+        from repro.session.session import zoo_layers
+        from repro.stonne.layer import ConvLayer
+        from repro.tuner import (
+            GATuner,
+            GridSearchTuner,
+            MaeriConvTask,
+            MaeriFcTask,
+            RandomTuner,
+            XGBTuner,
+        )
+
+        target = scenario.target
+        if target is None:
+            layers = {l.name: l for l in zoo_layers(scenario.model)}
+            if scenario.layer not in layers:
+                raise TuningError(
+                    f"model {scenario.model!r} has no layer "
+                    f"{scenario.layer!r}; choose from {sorted(layers)}"
+                )
+            target = layers[scenario.layer]
+        tuning = scenario.config.tuning
+        if isinstance(target, ConvLayer):
+            task = MaeriConvTask(
+                target, sim_config, objective=tuning.objective, engine=engine,
+            )
+        else:
+            task = MaeriFcTask(
+                target, sim_config, objective=tuning.objective, engine=engine,
+            )
+        tuners = {
+            "grid": GridSearchTuner,
+            "random": RandomTuner,
+            "ga": GATuner,
+            "xgb": XGBTuner,
+        }
+        if tuning.tuner not in tuners:
+            raise TuningError(
+                f"tuner must be one of {sorted(tuners)}, got {tuning.tuner!r}"
+            )
+        result = tuners[tuning.tuner](task, seed=tuning.seed).tune(
+            n_trials=tuning.trials,
+            early_stopping=tuning.early_stopping,
+        )
+        if result.best_config is None:
+            raise TuningError("no valid mapping found")
+        mapping = task.best_mapping(result.best_config)
+        return TuneReport(
+            model=scenario.model,
+            layer=target.name,
+            objective=tuning.objective,
+            tuner=tuning.tuner,
+            seed=tuning.seed,
+            best_mapping=tuple(mapping.as_tuple()),
+            best_cost=result.best_cost,
+            num_trials=result.num_trials,
+            stopped_early=result.stopped_early,
+            records=result.records,
+        )
+
+    def _compare_scenario(
+        self, scenario: Scenario, engine, sim_config
+    ) -> CompareReport:
+        """Default vs AutoTVM vs mRNA mappings (the Figure 12 view)."""
+        from repro.mrna import MrnaMapper
+        from repro.session.session import zoo_layers
+        from repro.stonne.layer import ConvLayer
+        from repro.stonne.mapping import ConvMapping, FcMapping
+        from repro.tuner import GridSearchTuner, MaeriConvTask, MaeriFcTask
+
+        mapper = MrnaMapper(sim_config)
+        schemes = ("default", "AutoTVM", "mRNA")
+        rows: List[Dict[str, Any]] = []
+        for layer in zoo_layers(scenario.model):
+            is_conv = isinstance(layer, ConvLayer)
+            if is_conv:
+                task = MaeriConvTask(
+                    layer, sim_config, objective="psums",
+                    max_options_per_tile=4, engine=engine,
+                )
+            else:
+                task = MaeriFcTask(
+                    layer, sim_config, objective="psums", engine=engine,
+                )
+            tuned = task.best_mapping(
+                GridSearchTuner(task).tune(n_trials=10 ** 9).best_config
+            )
+            mrna = mapper.map_conv(layer) if is_conv else mapper.map_fc(layer)
+            basic = ConvMapping.basic() if is_conv else FcMapping.basic()
+            cycles = {
+                "default": engine.evaluate(layer, basic).cycles,
+                "AutoTVM": engine.evaluate(layer, tuned).cycles,
+                "mRNA": engine.evaluate(layer, mrna).cycles,
+            }
+            rows.append({"layer": layer.name, "cycles": cycles})
+        return CompareReport(
+            model=scenario.model, schemes=schemes, rows=rows
+        )

@@ -430,3 +430,43 @@ class TestRegistryAndSession:
         serial_best = tune("serial")
         remote_best = tune(RemoteBackend(workers=[worker.address]))
         assert remote_best == serial_best
+
+
+class TestFleetAutostart:
+    """`fleet.autostart = N`: session-scoped worker daemon lifecycle."""
+
+    def test_session_spawns_uses_and_reaps_workers(self, tmp_path):
+        import os
+
+        from repro.session import Session
+
+        with Session(
+            fleet_autostart=1, cache_path=str(tmp_path / "fleet.sqlite"),
+        ) as session:
+            assert session.engine.backend.name == "remote"
+            assert len(session.fleet_workers) == 1
+            pids = [proc.pid for proc in session._fleet_procs]
+            report = session.run("mlp")
+            assert report.total_cycles > 0
+            # fallback 0 proves the autostarted daemon served the run.
+            assert session.engine.backend.fallback_batches == 0
+        # The regression guarantee: close() leaves no lingering
+        # processes — every daemon is terminated *and* reaped.
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_autostart_skipped_for_explicit_local_executor(self):
+        from repro.session import Session
+
+        # Spawning daemons nothing would talk to is pure waste: an
+        # explicit non-remote executor suppresses autostart.
+        with Session(fleet_autostart=2, executor="serial") as session:
+            assert session.fleet_workers == []
+            assert session.engine.backend.name == "serial"
+
+    def test_autostart_zero_is_default_noop(self):
+        from repro.session import Session
+
+        with Session() as session:
+            assert session.fleet_workers == []

@@ -348,3 +348,125 @@ objective = "cycles"
                      objective="cycles") as s:
             from_kwargs = s.tune(model, layer)
         assert from_file.to_dict() == from_kwargs.to_dict()
+
+
+class TestProfiles:
+    """Named [profile.X] overlays: selection, precedence, round trips."""
+
+    TOML = (
+        "[architecture]\n"
+        "ms_size = 64\n\n"
+        "[profile.edge.architecture]\n"
+        "ms_size = 32\n\n"
+        "[profile.edge.engine]\n"
+        'executor = "serial"\n\n'
+        "[profile.cloud.engine]\n"
+        'executor = "process"\n'
+        "max_workers = 4\n"
+    )
+
+    def test_profile_overlays_file_base(self, tmp_path):
+        path = _write_toml(tmp_path, self.TOML)
+        base = SessionConfig.from_file(path)
+        edge = SessionConfig.from_file(path, profile="edge")
+        assert base.architecture.ms_size == 64
+        assert edge.architecture.ms_size == 32
+        assert edge.engine.executor == "serial"
+
+    def test_unselected_base_keys_show_through(self, tmp_path):
+        path = _write_toml(tmp_path, self.TOML)
+        cloud = SessionConfig.from_file(path, profile="cloud")
+        # cloud does not touch the architecture section.
+        assert cloud.architecture.ms_size == 64
+        assert cloud.engine.max_workers == 4
+
+    def test_env_beats_profile(self, tmp_path):
+        path = _write_toml(tmp_path, self.TOML)
+        config = SessionConfig.resolve(
+            file=path, profile="edge", env={"REPRO_MS_SIZE": "99"},
+        )
+        assert config.architecture.ms_size == 99
+
+    def test_kwargs_beat_profile(self, tmp_path):
+        path = _write_toml(tmp_path, self.TOML)
+        config = SessionConfig.resolve(
+            file=path, profile="edge", env=False, ms_size=77,
+        )
+        assert config.architecture.ms_size == 77
+
+    def test_cli_beats_profile(self, tmp_path):
+        path = _write_toml(tmp_path, self.TOML)
+        config = SessionConfig.resolve(
+            file=path, profile="edge", env=False, cli={"ms_size": 55},
+        )
+        assert config.architecture.ms_size == 55
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        path = _write_toml(tmp_path, self.TOML)
+        with pytest.raises(ConfigError, match="no profile 'nope'"):
+            SessionConfig.from_file(path, profile="nope")
+
+    def test_profile_without_file_rejected(self):
+        with pytest.raises(ConfigError, match="no config file"):
+            SessionConfig.resolve(profile="edge", env=False)
+
+    def test_bad_key_in_unselected_profile_rejected(self, tmp_path):
+        path = _write_toml(
+            tmp_path,
+            "[profile.edge.architecture]\nms_sizee = 32\n",
+        )
+        # The typo fails loudly even when the profile is not selected.
+        with pytest.raises(ConfigError, match="invalid profile 'edge'"):
+            SessionConfig.from_file(path)
+
+    def test_load_profiles_shape(self, tmp_path):
+        from repro.session import load_profiles
+
+        path = _write_toml(tmp_path, self.TOML)
+        profiles = load_profiles(path)
+        assert list(profiles) == ["edge", "cloud"]
+        assert profiles["edge"]["architecture"]["ms_size"] == 32
+
+    def test_to_toml_profiles_round_trip(self, tmp_path):
+        from repro.session import load_profiles
+
+        path = _write_toml(tmp_path, self.TOML)
+        base = SessionConfig.from_file(path)
+        snapshot = _write_toml(
+            tmp_path,
+            base.to_toml(profiles=load_profiles(path)),
+            name="snapshot.toml",
+        )
+        assert load_profiles(snapshot) == load_profiles(path)
+        assert SessionConfig.from_file(snapshot, profile="edge") == (
+            SessionConfig.from_file(path, profile="edge")
+        )
+
+    def test_profile_flag_on_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = _write_toml(tmp_path, self.TOML)
+        assert main([
+            "config", "show", "--json", "--config", str(path),
+            "--profile", "edge",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["architecture"]["ms_size"] == 32
+
+    def test_config_show_text_renders_profiles(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = _write_toml(tmp_path, self.TOML)
+        assert main(["config", "show", "--config", str(path)]) == 0
+        shown = capsys.readouterr().out
+        assert "[profile.edge.architecture]" in shown
+        assert "[profile.cloud.engine]" in shown
+        # ... and the rendered text is itself a loadable profile file.
+        snapshot = _write_toml(tmp_path, shown, name="shown.toml")
+        assert SessionConfig.from_file(snapshot, profile="edge") == (
+            SessionConfig.from_file(path, profile="edge")
+        )
+
+    def test_autostart_validation(self):
+        with pytest.raises(ConfigError, match="fleet_autostart"):
+            SessionConfig.resolve(env=False, fleet_autostart=-1)
