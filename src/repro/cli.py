@@ -62,6 +62,11 @@ def _print_fleet_report(engine) -> None:
     than on results alone, which fallback would leave identical.
     """
     backend = engine.backend
+    counters = getattr(backend, "scheduler_counters", None)
+    if counters and counters.get("chunks_pulled"):
+        print(f"scheduler: {counters['chunks_pulled']} chunks pulled, "
+              f"{counters['steals']} steals, "
+              f"{counters['resplits']} re-splits")
     if not hasattr(backend, "fallback_batches"):
         return
     print(f"fleet: {backend.fallback_batches} fallback batches, "
@@ -206,7 +211,11 @@ def _cmd_report(args) -> int:
     from repro.sweep import diff_reports, load_report
 
     if args.report_command == "diff":
-        diff = diff_reports(load_report(args.before), load_report(args.after))
+        diff = diff_reports(
+            load_report(args.before),
+            load_report(args.after),
+            metrics=args.metric or None,
+        )
         if args.json:
             print(diff.to_json())
         else:
@@ -264,6 +273,7 @@ def _cmd_worker(args) -> int:
         cache_path=config.cache.path,
         cache_max_rows=config.cache.max_rows,
         quiet=args.quiet,
+        capacity=config.fleet.capacity,
     )
 
 
@@ -326,6 +336,20 @@ distributed sweeps:
   sweeps and workers reuse each other's measurements mid-run (bound it
   with --cache-max-rows); compact long-lived JSONL spills with:
   repro cache compact PATH
+
+saturation scheduling:
+  Multi-scenario batches drain through one pull-based work queue: each
+  executor slot (thread, process, or fleet capacity unit) pulls the
+  next chunk as it finishes, so fast slots steal slow slots' tails and
+  engine groups overlap instead of running back to back.  A worker
+  started with --fleet-capacity N advertises N pull slots and receives
+  proportionally larger shards.  Tune the queue with --chunk-size
+  (items per pull, default auto) and --steal-deadline SECONDS (an
+  in-flight chunk older than this is re-split across idle slots;
+  distinct from --fleet-shard-timeout, which abandons a wedged
+  connection entirely — deadline seconds, timeout minutes).  Results
+  stay bit-identical to --executor serial; per-run steal/re-split
+  counters land in the report JSON under counters.scheduler.
 """
 
 
@@ -432,6 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT", default=None,
         help="exit 3 when any metric regresses by more than PCT percent "
              "(or a baseline scenario is missing from the after report)")
+    diff.add_argument(
+        "--metric", action="append", metavar="NAME", default=None,
+        help="only diff this metric (repeatable; a name also matches its "
+             "scheme-qualified forms, e.g. cycles selects cycles[mRNA])")
     diff.add_argument(
         "--json", action="store_true",
         help="emit the structured diff as JSON instead of the table")

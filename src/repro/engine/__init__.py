@@ -50,6 +50,15 @@ Components
     sessions resume warm across processes and workers can share one
     measurement history.
 
+:mod:`~repro.engine.scheduler`
+    The saturation scheduler: :func:`~repro.engine.scheduler.run_plan_groups`
+    drains many engines' planned batches through one pull-based work
+    queue (one puller per backend slot) so engine groups overlap, fast
+    slots steal slow slots' tails, stragglers re-split past a deadline,
+    and speculative low-priority work (a tuner's predicted next
+    generation) fills otherwise-idle slots — all bit-identical to
+    serial execution, with exact steal/re-split/idle counters.
+
 Who routes through it
 ---------------------
 * ``repro.session.Session`` — the public facade: it builds one engine
@@ -94,6 +103,11 @@ from repro.engine.evaluation import (
     evaluation_key,
     fingerprint_config,
 )
+from repro.engine.scheduler import (
+    WorkQueue,
+    backend_counters,
+    run_plan_groups,
+)
 from repro.engine.sqlite_cache import SqliteStatsCache
 
 __all__ = [
@@ -107,11 +121,14 @@ __all__ = [
     "SqliteStatsCache",
     "StatsCache",
     "ThreadBackend",
+    "WorkQueue",
+    "backend_counters",
     "evaluation_key",
     "fingerprint_config",
     "make_backend",
     "make_stats_cache",
     "register_backend",
     "registered_backends",
+    "run_plan_groups",
     "unregister_backend",
 ]

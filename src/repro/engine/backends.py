@@ -75,6 +75,29 @@ class ExecutorBackend:
         pairs in submission order."""
         raise NotImplementedError
 
+    def pull_slots(self, engine, max_workers: Optional[int] = None) -> List:
+        """Slot identities for pull-mode scheduling.
+
+        Each slot is an opaque token naming one concurrent execution
+        lane (a pool worker, a fleet capacity unit).  The work-stealing
+        scheduler spawns one puller per slot; an empty list (the
+        default) means the backend only supports static :meth:`run`
+        batches.
+        """
+        return []
+
+    def run_chunk(
+        self, engine, items: Sequence[WorkItem], slot=None
+    ) -> List[WorkResult]:
+        """Execute one scheduler chunk on ``slot``, in submission order.
+
+        Called concurrently from scheduler puller threads, one per slot
+        from :meth:`pull_slots` — implementations must be thread-safe
+        across distinct slots.  The default runs inline (correct for
+        thread-pool semantics, where the puller thread *is* the lane).
+        """
+        return [_simulate_item(engine, item) for item in items]
+
     def close(self) -> None:
         """Release pooled resources (idempotent; no-op by default)."""
 
@@ -188,6 +211,14 @@ class ThreadBackend(_PooledBackend):
     def _run_pooled(self, engine, items, pool):
         return list(pool.map(lambda item: _simulate_item(engine, item), items))
 
+    def pull_slots(self, engine, max_workers=None):
+        workers = _default_workers(max_workers or self.max_workers)
+        if workers <= 1:
+            return []
+        # Pullers are scheduler-owned threads; each builds its own
+        # thread-local controller through the engine, so no pool here.
+        return list(range(workers))
+
 
 # ----------------------------------------------------------------------
 # process backend
@@ -255,6 +286,34 @@ class ProcessBackend(_PooledBackend):
         ):
             for position, key, payload in chunk_results:
                 results[position] = (key, payload)
+        return results
+
+    def pull_slots(self, engine, max_workers=None):
+        workers = _default_workers(max_workers or self.max_workers)
+        if workers <= 1:
+            return []
+        self._ensure_pool(workers)
+        return list(range(workers))
+
+    def run_chunk(self, engine, items, slot=None):
+        if self._pool is None:
+            return [_simulate_item(engine, item) for item in items]
+        spec = (
+            engine.fingerprint,
+            type(engine.controller),
+            engine.config,
+            engine.params,
+            engine.functional,
+        )
+        chunk = [
+            (position, key, request.layer, request.mapping)
+            for position, (key, request) in enumerate(items)
+        ]
+        results: List[WorkResult] = [None] * len(items)  # type: ignore
+        for position, key, payload in self._pool.submit(
+            _process_chunk, spec, chunk
+        ).result():
+            results[position] = (key, payload)
         return results
 
 

@@ -186,9 +186,12 @@ class BatchPlan:
             if cached is None:
                 # Already evicted (LRU bound smaller than the batch's
                 # distinct misses); serve the batch-local result instead.
-                cached = self._miss_stats[key].clone()
-            cached.layer_name = self.requests[position].layer.name
-            self.results[position] = cached
+                cached = self._miss_stats[key]
+            # Attribute a copy — never rename a shared object in place
+            # (a duck-typed cache may have returned its stored record).
+            self.results[position] = cached.clone(
+                layer_name=self.requests[position].layer.name
+            )
 
 
 class EvaluationEngine:
@@ -214,6 +217,11 @@ class EvaluationEngine:
             ``None`` keeps the historical default — threads when
             ``max_workers`` asks for parallelism, inline otherwise.
         max_workers: Default pool width for :meth:`evaluate_many`.
+        chunk_size: Items per scheduler chunk on pull-capable backends
+            (:mod:`repro.engine.scheduler`); ``None`` sizes chunks
+            automatically from the batch and slot count.
+        steal_deadline: Seconds before an idle scheduler slot re-splits
+            a straggler's unfinished chunk.
     """
 
     def __init__(
@@ -225,6 +233,8 @@ class EvaluationEngine:
         functional: bool = False,
         executor: Union[str, ExecutorBackend, None] = None,
         max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        steal_deadline: Optional[float] = None,
     ) -> None:
         self.config = config
         self.params = params
@@ -232,6 +242,8 @@ class EvaluationEngine:
         self.cache_enabled = cache_enabled
         self.functional = functional
         self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.steal_deadline = steal_deadline
         self.backend: ExecutorBackend = make_backend(executor, max_workers)
         self.controller: AcceleratorController = make_controller(config, params)
         self.num_evaluations = 0
@@ -297,9 +309,11 @@ class EvaluationEngine:
         key = evaluation_key(self._fingerprint, layer, mapping)
         cached = self.cache.get(key)
         if cached is not None:
-            # get() already returned a private copy; just re-attribute it.
-            cached.layer_name = layer.name
-            return cached
+            # Attribute a copy rather than renaming in place: the
+            # built-in tiers return private copies, but a duck-typed
+            # cache may hand back its stored record, and mutating that
+            # would rename every earlier hit of the same key.
+            return cached.clone(layer_name=layer.name)
         stats = self._simulate(layer, mapping)
         with self._counter_lock:
             self.num_simulations += 1
@@ -375,39 +389,29 @@ class EvaluationEngine:
                 continue
             cached = self.cache.get(key)
             if cached is not None:
-                cached.layer_name = request.layer.name
-                plan.results[position] = cached
+                # An attributed *copy*, mirroring run_plans' semantics:
+                # renaming the returned object in place would alias two
+                # plans onto one record whenever the cache's get() does
+                # not copy (duck-typed caches), letting the second
+                # scenario rename the first's result.
+                plan.results[position] = cached.clone(
+                    layer_name=request.layer.name
+                )
             else:
                 pending_keys.add(key)
                 plan._pending.append((key, position))
         return plan
 
-    def run_plans(
-        self,
-        plans: Sequence[BatchPlan],
-        max_workers: Optional[int] = None,
-        executor: Union[str, ExecutorBackend, None] = None,
-        return_errors: bool = False,
-    ) -> None:
-        """Execute the pending misses of one or more plans as one batch.
+    def _collect_pending(
+        self, plans: Sequence[BatchPlan]
+    ) -> Tuple[List[Tuple[Optional[Hashable], EvalRequest]], List[List[Tuple[BatchPlan, int]]]]:
+        """Flatten several plans' misses into one deduplicated work list.
 
-        The misses of every plan are flattened into a single backend
-        batch with *cross-plan* key dedup — a layer shared by several
-        plans (scenarios of a sweep) simulates exactly once and every
-        plan receives an independently attributed copy.  Results merge
-        into the cache and into each plan's ``results``; parked
-        duplicates resolve afterwards.
-
-        Per-request failures abort by re-raising the first one unless
-        ``return_errors`` is True, in which case the failed slots hold
-        the exception instances instead of stats (every plan is still
-        fully resolved before the raise).
+        Returns ``(work, owners)``: one ``(key, request)`` item per
+        distinct pending key across all plans, plus the (plan, position)
+        slots each item must fill — cross-plan duplicates share one
+        work item with multiple owners.
         """
-        for plan in plans:
-            if plan.engine is not self:
-                raise SimulationError(
-                    "run_plans received a BatchPlan built by a different engine"
-                )
         work: List[Tuple[Optional[Hashable], EvalRequest]] = []
         owners: List[List[Tuple[BatchPlan, int]]] = []
         slot_by_key: dict = {}
@@ -421,39 +425,92 @@ class EvaluationEngine:
                     slot_by_key[key] = len(work)
                 work.append((key, plan.requests[position]))
                 owners.append([(plan, position)])
+        return work, owners
 
-        backend = self._resolve_backend(executor, max_workers)
-        workers = max_workers if max_workers is not None else self.max_workers
-        first_error: Optional[Exception] = None
+    def _merge_results(
+        self,
+        work: Sequence[Tuple[Optional[Hashable], EvalRequest]],
+        owners: Sequence[List[Tuple[BatchPlan, int]]],
+        run: Sequence[Tuple[Optional[Hashable], object]],
+    ) -> None:
+        """Merge executed work back into the cache and the owning plans.
+
+        Single-threaded by design (cache writes and plan mutation never
+        race); counts each distinct successful item as one simulation
+        regardless of how the backend executed it, so counters stay
+        deterministic even when the scheduler re-splits a straggler.
+        """
         simulated = 0
-        if work:
-            run = backend.run(self, work, max_workers=workers)
-            for slot, (key, payload) in enumerate(run):
-                if isinstance(payload, Exception):
-                    if first_error is None:
-                        first_error = payload
-                    for plan, position in owners[slot]:
-                        plan._record(position, key, payload)
-                else:
-                    simulated += 1
-                    if self.cache_enabled and key is not None:
-                        self.cache.put(key, payload)
-                    for index, (plan, position) in enumerate(owners[slot]):
-                        stats = payload
-                        if index > 0:
-                            # Cross-plan shared result: every other plan
-                            # gets an independent, re-attributed copy.
-                            stats = payload.clone()
-                            stats.layer_name = (
-                                plan.requests[position].layer.name
-                            )
-                        plan._record(position, key, stats)
+        for slot, result in enumerate(run):
+            key, payload = result if result is not None else (work[slot][0], None)
+            if payload is None:
+                payload = SimulationError(
+                    "backend returned no result for a submitted item"
+                )
+            if isinstance(payload, Exception):
+                for plan, position in owners[slot]:
+                    plan._record(position, key, payload)
+            else:
+                simulated += 1
+                if self.cache_enabled and key is not None:
+                    self.cache.put(key, payload)
+                for index, (plan, position) in enumerate(owners[slot]):
+                    stats = payload
+                    if index > 0:
+                        # Cross-plan shared result: every other plan
+                        # gets an independent, re-attributed copy.
+                        stats = payload.clone()
+                        stats.layer_name = (
+                            plan.requests[position].layer.name
+                        )
+                    plan._record(position, key, stats)
         with self._counter_lock:
             self.num_simulations += simulated
+
+    def run_plans(
+        self,
+        plans: Sequence[BatchPlan],
+        max_workers: Optional[int] = None,
+        executor: Union[str, ExecutorBackend, None] = None,
+        return_errors: bool = False,
+        speculative: Sequence[EvalRequest] = (),
+    ) -> dict:
+        """Execute the pending misses of one or more plans as one batch.
+
+        The misses of every plan are flattened into a single backend
+        batch with *cross-plan* key dedup — a layer shared by several
+        plans (scenarios of a sweep) simulates exactly once and every
+        plan receives an independently attributed copy.  Results merge
+        into the cache and into each plan's ``results``; parked
+        duplicates resolve afterwards.
+
+        On pull-capable backends with two or more slots the work runs
+        through the work-stealing scheduler
+        (:func:`repro.engine.scheduler.run_plan_groups`); otherwise it
+        runs as one static backend batch.  Results are bit-identical
+        either way.  ``speculative`` requests, if any, ride the
+        scheduler's low-priority lane and only ever warm the cache.
+
+        Per-request failures abort by re-raising the first one unless
+        ``return_errors`` is True, in which case the failed slots hold
+        the exception instances instead of stats (every plan is still
+        fully resolved before the raise).  Returns the scheduler's
+        counter report for this call.
+        """
+        from repro.engine.scheduler import run_plan_groups
+
         for plan in plans:
-            plan._resolve_duplicates()
-        if first_error is not None and not return_errors:
-            raise first_error
+            if plan.engine is not self:
+                raise SimulationError(
+                    "run_plans received a BatchPlan built by a different engine"
+                )
+        return run_plan_groups(
+            [(self, plans)],
+            max_workers=max_workers,
+            executor=executor,
+            return_errors=return_errors,
+            speculative=speculative,
+        )
 
     def evaluate_many(
         self,
@@ -461,6 +518,7 @@ class EvaluationEngine:
         max_workers: Optional[int] = None,
         executor: Union[str, ExecutorBackend, None] = None,
         return_errors: bool = False,
+        speculative: Sequence[EvalRequest] = (),
     ) -> List[SimulationStats]:
         """Evaluate a batch, preserving order.
 
@@ -473,18 +531,24 @@ class EvaluationEngine:
         :meth:`plan_many` followed by :meth:`run_plans`, the same path
         multi-scenario sweeps use.
 
+        ``speculative`` requests are extra low-priority work for the
+        scheduler: they run only while normal slots would otherwise
+        idle, populate the cache, and never appear in the returned
+        results.
+
         Per-request failures abort the batch by re-raising the first one
         unless ``return_errors`` is True, in which case the failed slots
         hold the exception instances instead of stats.
         """
         plan = self.plan_many(requests)
-        if not plan.requests:
+        if not plan.requests and not speculative:
             return []
         self.run_plans(
             [plan],
             max_workers=max_workers,
             executor=executor,
             return_errors=return_errors,
+            speculative=speculative,
         )
         return plan.results
 

@@ -254,12 +254,19 @@ def rebuild_controller(spec: Dict[str, Any]):
 # ----------------------------------------------------------------------
 # message builders
 # ----------------------------------------------------------------------
-def hello_message(capabilities: List[str], pid: int) -> Dict[str, Any]:
+def hello_message(
+    capabilities: List[str], pid: int, capacity: int = 1
+) -> Dict[str, Any]:
+    """The worker's greeting.  ``capacity`` is its advertised weight —
+    how many concurrent shard units the operator sized it for — which
+    the remote backend uses to seed proportional shard sizes; absent
+    (older workers) it defaults to 1 on the client side."""
     return {
         "type": "hello",
         "version": PROTOCOL_VERSION,
         "pid": pid,
         "capabilities": sorted(capabilities),
+        "capacity": int(capacity),
     }
 
 

@@ -54,8 +54,12 @@ WORKERS_ENV = "REPRO_FLEET_WORKERS"
 #: Seconds to wait for a worker connection before declaring it dead.
 CONNECT_TIMEOUT_S = 5.0
 
-#: Seconds to wait for a shard's results.  Generous: a shard is many
-#: simulations; this bound only catches hung peers, not slow ones.
+#: Default seconds to wait for a shard's results (the
+#: ``fleet.shard_timeout`` config knob overrides it).  Generous: a shard
+#: is many simulations; this bound only catches hung peers, not slow
+#: ones — the *scheduler's* ``engine.steal_deadline`` (seconds, much
+#: shorter) is what re-splits a slow worker's chunk onto idle peers, so
+#: this timeout now only has to catch connections that are truly wedged.
 BATCH_TIMEOUT_S = 600.0
 
 
@@ -69,9 +73,10 @@ class _WorkerLink:
     at a time (the per-link lock covers retries landing on a survivor
     that is mid-shard)."""
 
-    def __init__(self, address: str) -> None:
+    def __init__(self, address: str, timeout: Optional[float] = None) -> None:
         self.address = address
         self.host, self.port = parse_address(address)
+        self.timeout = timeout if timeout is not None else BATCH_TIMEOUT_S
         self.lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
         self.hello: Optional[dict] = None
@@ -82,7 +87,7 @@ class _WorkerLink:
                 (self.host, self.port), timeout=CONNECT_TIMEOUT_S
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            sock.settimeout(BATCH_TIMEOUT_S)
+            sock.settimeout(self.timeout)
             hello = protocol.recv_message(sock)
             if not hello or hello.get("type") != "hello":
                 sock.close()
@@ -99,6 +104,26 @@ class _WorkerLink:
             self.hello = hello
             self._sock = sock
         return self._sock
+
+    def ensure_connected(self) -> Optional[dict]:
+        """Connect (if needed) and return the worker's hello, or None
+        when the worker is unreachable."""
+        with self.lock:
+            try:
+                self._connect()
+            except (OSError, protocol.ProtocolError):
+                self.drop()
+                return None
+            return self.hello
+
+    @property
+    def capacity(self) -> int:
+        """The worker's advertised weight (1 for pre-capacity workers)."""
+        hello = self.hello or {}
+        try:
+            return max(1, int(hello.get("capacity", 1)))
+        except (TypeError, ValueError):
+            return 1
 
     def request(self, message: dict) -> dict:
         """One request/response round trip (connecting if needed)."""
@@ -148,6 +173,12 @@ class RemoteBackend(ExecutorBackend):
             changes.
         max_workers: Accepted for registry-constructor uniformity;
             parallelism is one client thread per *remote* worker.
+        shard_timeout: Seconds to wait for one shard's results before
+            declaring the connection dead (the ``fleet.shard_timeout``
+            knob); defaults to :data:`BATCH_TIMEOUT_S`.  Orthogonal to
+            the scheduler's ``engine.steal_deadline``: the deadline
+            re-splits a *slow* worker's chunk onto idle peers (seconds),
+            the timeout abandons a *wedged* connection (minutes).
     """
 
     name = "remote"
@@ -156,11 +187,13 @@ class RemoteBackend(ExecutorBackend):
         self,
         workers: Union[Sequence[str], str, None] = None,
         max_workers: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
     ) -> None:
         if isinstance(workers, str):
             workers = [part.strip() for part in workers.split(",") if part.strip()]
         self._configured = list(workers) if workers else None
         self.max_workers = max_workers
+        self.shard_timeout = shard_timeout
         self._links: Dict[str, _WorkerLink] = {}
         self._links_lock = threading.Lock()
         #: Batches (shards) that fell back to inline serial execution.
@@ -176,9 +209,18 @@ class RemoteBackend(ExecutorBackend):
         with self._links_lock:
             link = self._links.get(address)
             if link is None:
-                link = _WorkerLink(address)
+                link = _WorkerLink(address, timeout=self.shard_timeout)
                 self._links[address] = link
             return link
+
+    def _capacities(self, addresses: List[str]) -> Dict[str, int]:
+        """Advertised capacity per *reachable* address (probed now)."""
+        capacities: Dict[str, int] = {}
+        for address in addresses:
+            link = self._link(address)
+            if link.ensure_connected() is not None:
+                capacities[address] = link.capacity
+        return capacities
 
     # ------------------------------------------------------------------
     def run(self, engine, items, max_workers=None):
@@ -193,18 +235,41 @@ class RemoteBackend(ExecutorBackend):
             self.fallback_batches += 1
             return [_simulate_item(engine, item) for item in items]
 
-        # Round-robin sharding, one shard per configured worker; strided
-        # like the process backend so shard sizes stay balanced.
         indexed = [
             (position, key, request.layer, request.mapping)
             for position, (key, request) in enumerate(items)
         ]
-        shards = [indexed[i :: len(addresses)] for i in range(len(addresses))]
-        pairs = [
-            (address, shard)
-            for address, shard in zip(addresses, shards)
-            if shard
-        ]
+        capacities = self._capacities(addresses)
+        if capacities:
+            # Capacity-weighted sharding: each reachable worker appears
+            # once per advertised capacity unit in the stride base, so a
+            # capacity-2 worker's single shard carries twice the items.
+            expanded = [
+                address
+                for address in addresses
+                if address in capacities
+                for _ in range(capacities[address])
+            ]
+            strides = [indexed[i :: len(expanded)] for i in range(len(expanded))]
+            by_address: Dict[str, List[Tuple]] = {}
+            for address, stride in zip(expanded, strides):
+                by_address.setdefault(address, []).extend(stride)
+            pairs = [
+                (address, sorted(shard))
+                for address, shard in by_address.items()
+                if shard
+            ]
+        else:
+            # Nothing answered the probe: keep the legacy equal
+            # sharding over every configured address, so each shard
+            # walks the usual retry-then-inline-fallback path and the
+            # failure counters stay exactly as before.
+            shards = [indexed[i :: len(addresses)] for i in range(len(addresses))]
+            pairs = [
+                (address, shard)
+                for address, shard in zip(addresses, shards)
+                if shard
+            ]
         results: List[Optional[WorkResult]] = [None] * len(items)
         with ThreadPoolExecutor(max_workers=len(pairs)) as pool:
             shard_outcomes = pool.map(
@@ -217,6 +282,52 @@ class RemoteBackend(ExecutorBackend):
             for outcome in shard_outcomes:
                 for position, result in outcome:
                     results[position] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def pull_slots(self, engine, max_workers=None):
+        """One scheduler slot per advertised capacity unit per reachable
+        worker — ``(address, unit)`` tokens.  Empty (static fallback)
+        when the engine is not remotable or no worker answers."""
+        addresses = self._addresses()
+        if not addresses:
+            return []
+        try:
+            protocol.engine_spec(engine)
+        except protocol.ProtocolError:
+            return []
+        capacities = self._capacities(addresses)
+        return [
+            (address, unit)
+            for address in addresses
+            for unit in range(capacities.get(address, 0))
+        ]
+
+    def run_chunk(self, engine, items, slot=None):
+        """Execute one scheduler chunk on the slot's worker.
+
+        Reuses the shard machinery — retry on survivors, then inline
+        serial fallback — so a worker crash mid-chunk degrades exactly
+        like a crash mid-shard.
+        """
+        addresses = self._addresses()
+        try:
+            spec = protocol.engine_spec(engine)
+        except protocol.ProtocolError:
+            spec = None
+        if not addresses or spec is None:
+            self.fallback_batches += 1
+            return [_simulate_item(engine, item) for item in items]
+        indexed = [
+            (position, key, request.layer, request.mapping)
+            for position, (key, request) in enumerate(items)
+        ]
+        preferred = slot[0] if isinstance(slot, tuple) else addresses[0]
+        results: List[Optional[WorkResult]] = [None] * len(items)
+        for position, result in self._run_shard(
+            engine, spec, indexed, preferred=preferred, all_addresses=addresses
+        ):
+            results[position] = result
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -324,6 +435,7 @@ def resolve_executor(
     executor,
     workers: Union[Sequence[str], str, None] = None,
     max_workers: Optional[int] = None,
+    shard_timeout: Optional[float] = None,
 ):
     """The executor an engine should use given an optional fleet.
 
@@ -333,7 +445,11 @@ def resolve_executor(
     ``make_session(workers=...)``, so the two can never diverge.
     """
     if workers and executor in (None, "remote"):
-        return RemoteBackend(workers=workers, max_workers=max_workers)
+        return RemoteBackend(
+            workers=workers,
+            max_workers=max_workers,
+            shard_timeout=shard_timeout,
+        )
     return executor
 
 

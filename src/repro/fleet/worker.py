@@ -67,7 +67,11 @@ class _FleetRequestHandler(socketserver.BaseRequestHandler):
         server: FleetWorker = self.server  # type: ignore[assignment]
         protocol.send_message(
             self.request,
-            protocol.hello_message(registered_controller_types(), os.getpid()),
+            protocol.hello_message(
+                registered_controller_types(),
+                os.getpid(),
+                capacity=server.capacity,
+            ),
         )
         while True:
             try:
@@ -99,6 +103,10 @@ class FleetWorker(socketserver.ThreadingTCPServer):
         cache: Optional local stats cache consulted/populated around
             every simulation.  Use the SQLite tier to share it with
             co-located workers and sweep drivers.
+        capacity: Advertised scheduling weight (``hello.capacity``).
+            The remote backend sizes this worker's shards — and its
+            pull-scheduler slot count — proportionally.  Purely a
+            weight: simulation still serializes on the controller lock.
     """
 
     allow_reuse_address = True
@@ -108,9 +116,11 @@ class FleetWorker(socketserver.ThreadingTCPServer):
         self,
         address: Tuple[str, int] = ("127.0.0.1", 0),
         cache: Optional[StatsCache] = None,
+        capacity: int = 1,
     ) -> None:
         super().__init__(address, _FleetRequestHandler)
         self.cache = cache
+        self.capacity = max(1, int(capacity))
         self.batches_served = 0
         self.items_served = 0
         #: Rebuilt controllers keyed by engine fingerprint, with the
@@ -197,13 +207,14 @@ def start_worker(
     host: str = "127.0.0.1",
     port: int = 0,
     cache: Optional[StatsCache] = None,
+    capacity: int = 1,
 ) -> Tuple[FleetWorker, threading.Thread]:
     """Start a worker serving in a daemon thread; returns (worker, thread).
 
     The embeddable form used by tests and benchmarks: bind (port 0 for
     an ephemeral port), serve until :meth:`FleetWorker.close`.
     """
-    worker = FleetWorker((host, port), cache=cache)
+    worker = FleetWorker((host, port), cache=cache, capacity=capacity)
     thread = threading.Thread(
         target=worker.serve_forever,
         name=f"fleet-worker-{worker.port}",
@@ -259,6 +270,7 @@ def spawn_local_worker(
     cache_path: Optional[str] = None,
     cache_max_rows: Optional[int] = None,
     timeout: float = 30.0,
+    capacity: Optional[int] = None,
 ) -> LocalWorkerProcess:
     """Start one ``repro worker`` daemon subprocess on a free port.
 
@@ -281,6 +293,8 @@ def spawn_local_worker(
         argv += ["--cache-path", cache_path]
     if cache_max_rows:
         argv += ["--cache-max-rows", str(cache_max_rows)]
+    if capacity is not None and capacity > 1:
+        argv += ["--fleet-capacity", str(capacity)]
     env = dict(os.environ)
     package_root = str(Path(repro.__file__).resolve().parents[1])
     env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
@@ -324,6 +338,7 @@ def spawn_local_workers(
     count: int,
     cache_path: Optional[str] = None,
     cache_max_rows: Optional[int] = None,
+    capacity: Optional[int] = None,
 ) -> List[LocalWorkerProcess]:
     """Spawn ``count`` local daemons, reaping the survivors on failure."""
     workers: List[LocalWorkerProcess] = []
@@ -331,7 +346,9 @@ def spawn_local_workers(
         for _ in range(count):
             workers.append(
                 spawn_local_worker(
-                    cache_path=cache_path, cache_max_rows=cache_max_rows
+                    cache_path=cache_path,
+                    cache_max_rows=cache_max_rows,
+                    capacity=capacity,
                 )
             )
     except Exception:
@@ -346,6 +363,7 @@ def serve(
     cache_path: Optional[str] = None,
     quiet: bool = False,
     cache_max_rows: Optional[int] = None,
+    capacity: int = 1,
 ) -> int:
     """Blocking daemon entry point behind ``repro worker``.
 
@@ -363,12 +381,12 @@ def serve(
         if cache_path
         else None
     )
-    worker = FleetWorker((host, port), cache=cache)
+    worker = FleetWorker((host, port), cache=cache, capacity=capacity)
     if not quiet:
         print(
             f"fleet worker pid {os.getpid()} listening on {worker.address} "
             f"(controllers: {', '.join(registered_controller_types())}; "
-            f"cache: {cache_path or 'none'})",
+            f"cache: {cache_path or 'none'}; capacity: {worker.capacity})",
             flush=True,
         )
     try:

@@ -84,8 +84,8 @@ def _meta(
     Args:
         key: Flat key (kwargs/env/CLI spelling); defaults to the field
             name.
-        kind: Coercion rule — "str", "optstr", "int", "optint", "bool",
-            or "workers" (comma list <-> tuple).
+        kind: Coercion rule — "str", "optstr", "int", "optint",
+            "float", "bool", or "workers" (comma list <-> tuple).
         help: CLI help text.
         choices: Allowed values (or a callable producing them, resolved
             at parser-build time so late registrations are included).
@@ -174,6 +174,20 @@ class EngineConfig:
                        help="also execute the exact im2col datapath per "
                             "simulation (real STONNE's cost profile)"),
     )
+    chunk_size: Optional[int] = field(
+        default=None,
+        metadata=_meta(key="chunk_size", kind="optint",
+                       help="items per work-stealing scheduler chunk on "
+                            "pull-capable backends (unset: sized "
+                            "automatically from the batch and slot "
+                            "count)"),
+    )
+    steal_deadline: float = field(
+        default=5.0,
+        metadata=_meta(key="steal_deadline", kind="float",
+                       help="seconds before an idle scheduler slot "
+                            "re-splits a straggler's unfinished chunk"),
+    )
 
     def __post_init__(self) -> None:
         if self.executor is not None and self.executor not in _registered_backends():
@@ -184,6 +198,14 @@ class EngineConfig:
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigError(
                 f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.steal_deadline <= 0:
+            raise ConfigError(
+                f"steal_deadline must be > 0, got {self.steal_deadline}"
             )
 
 
@@ -242,11 +264,37 @@ class FleetConfig:
                             "unless another one is named)"),
     )
 
+    capacity: int = field(
+        default=1,
+        metadata=_meta(key="fleet_capacity", kind="int",
+                       help="scheduling weight a worker advertises in "
+                            "its hello (repro worker) and autostarted "
+                            "workers inherit; the remote backend sizes "
+                            "shards and scheduler slots proportionally"),
+    )
+    shard_timeout: float = field(
+        default=600.0,
+        metadata=_meta(key="fleet_shard_timeout", kind="float",
+                       help="seconds the remote backend waits for one "
+                            "shard's results before declaring the "
+                            "connection dead (slow-but-alive workers "
+                            "are handled by the much shorter "
+                            "steal_deadline instead)"),
+    )
+
     def __post_init__(self) -> None:
         object.__setattr__(self, "workers", _coerce_workers(self.workers))
         if self.autostart < 0:
             raise ConfigError(
                 f"fleet_autostart must be >= 0, got {self.autostart}"
+            )
+        if self.capacity < 1:
+            raise ConfigError(
+                f"fleet_capacity must be >= 1, got {self.capacity}"
+            )
+        if self.shard_timeout <= 0:
+            raise ConfigError(
+                f"fleet_shard_timeout must be > 0, got {self.shard_timeout}"
             )
 
 
@@ -282,6 +330,15 @@ class TuningConfig:
     seed: int = field(
         default=0,
         metadata=_meta(kind="int", help="RNG seed for stochastic tuners"),
+    )
+    speculation: bool = field(
+        default=False,
+        metadata=_meta(kind="bool",
+                       help="let the GA tuner enqueue its predicted next "
+                            "generation at low scheduler priority while "
+                            "the current one finishes (cache-warming "
+                            "only; never changes the chosen best "
+                            "config)"),
     )
 
     def __post_init__(self) -> None:
@@ -340,6 +397,15 @@ def _coerce(key: str, kind: str, value):
         except (TypeError, ValueError):
             raise ConfigError(
                 f"config key {key!r} expects an integer, got {value!r}"
+            ) from None
+    if kind == "float":
+        if isinstance(value, bool):
+            raise ConfigError(f"config key {key!r} expects a number, got {value!r}")
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"config key {key!r} expects a number, got {value!r}"
             ) from None
     if kind == "bool":
         if isinstance(value, bool):
@@ -831,6 +897,8 @@ def add_config_arguments(parser) -> None:
         else:
             if spec.kind in ("int", "optint"):
                 kwargs["type"] = int
+            elif spec.kind == "float":
+                kwargs["type"] = float
             choices = spec.resolved_choices()
             if choices:
                 kwargs["choices"] = choices

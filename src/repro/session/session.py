@@ -145,6 +145,7 @@ class Session:
                     config.fleet.autostart,
                     cache_path=cache_cfg.path,
                     cache_max_rows=cache_cfg.max_rows,
+                    capacity=config.fleet.capacity,
                 )
             except BaseException:
                 close = getattr(self._cache, "close", None)
@@ -161,6 +162,7 @@ class Session:
                 config.engine.executor,
                 workers or None,
                 config.engine.max_workers,
+                shard_timeout=config.fleet.shard_timeout,
             )
             self.engine = EvaluationEngine(
                 self.simulator_config,
@@ -169,6 +171,8 @@ class Session:
                 executor=executor,
                 max_workers=config.engine.max_workers,
                 functional=config.engine.functional,
+                chunk_size=config.engine.chunk_size,
+                steal_deadline=config.engine.steal_deadline,
             )
             self.mappings = MappingConfigurator(
                 config=self.simulator_config,

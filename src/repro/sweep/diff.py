@@ -76,15 +76,48 @@ def _report_metrics(report) -> Dict[str, float]:
     )
 
 
-def _as_scenarios(report: AnyReport) -> Dict[str, Dict[str, float]]:
-    """Flatten any report into ``{scenario name: {metric: value}}``."""
+def _scenario_key(scenario) -> str:
+    """The matrix-coordinate identity of one sweep cell.
+
+    Scenarios are matched across reports on their *labels* (kind, model,
+    profile, override axes) rather than their raw names, so renaming a
+    scenario between two archived sweeps does not break the CI gate.
+    Scenarios without labels fall back to the name.
+    """
+    labels = {k: v for k, v in scenario.labels().items() if v is not None}
+    if not labels:
+        return scenario.name
+    labels["kind"] = scenario.kind
+    return json.dumps(labels, sort_keys=True, default=str)
+
+
+def _as_scenarios(report: AnyReport) -> Dict[str, Any]:
+    """Flatten any report into ``{match key: (display name, metrics)}``."""
     if isinstance(report, SweepReport):
-        return {
-            scenario.name: _report_metrics(scenario.report)
-            for scenario in report.scenarios
-        }
+        counts: Dict[str, int] = {}
+        for scenario in report.scenarios:
+            key = _scenario_key(scenario)
+            counts[key] = counts.get(key, 0) + 1
+        out: Dict[str, Any] = {}
+        for scenario in report.scenarios:
+            key = _scenario_key(scenario)
+            if counts[key] > 1:
+                key = scenario.name  # ambiguous coordinates: name decides
+            out[key] = (scenario.name, _report_metrics(scenario.report))
+        return out
     name = getattr(report, "model", None) or getattr(report, "layer", None)
-    return {name or "report": _report_metrics(report)}
+    return {name or "report": (name or "report", _report_metrics(report))}
+
+
+def _metric_selected(metric: str, metrics: Optional[List[str]]) -> bool:
+    """Whether ``metric`` passes the ``--metric`` filter.  A filter name
+    also matches its scheme-qualified forms (``cycles`` selects
+    ``cycles[mRNA]``), so compare reports stay filterable."""
+    if not metrics:
+        return True
+    return any(
+        metric == name or metric.startswith(name + "[") for name in metrics
+    )
 
 
 @dataclass
@@ -214,33 +247,44 @@ class ReportDiff:
         return "\n".join(lines)
 
 
-def diff_reports(before: AnyReport, after: AnyReport) -> ReportDiff:
+def diff_reports(
+    before: AnyReport,
+    after: AnyReport,
+    metrics: Optional[List[str]] = None,
+) -> ReportDiff:
     """Compare two reports scenario by scenario.
 
-    Scenarios are matched by name (a bare ``RunReport`` counts as one
-    scenario named after its model); metrics present on both sides are
-    diffed, scenarios present on only one side are listed separately so
-    a silently dropped benchmark cannot read as "no regression".
+    Sweep scenarios are matched on their matrix labels (kind, model,
+    profile, override axes) so a rename between archives still pairs up;
+    label-less reports (bare ``RunReport``/``TuneReport``) match by
+    name.  Metrics present on both sides are diffed — restricted to
+    ``metrics`` when given (``["cycles"]`` gates cycles without gating
+    energy) — and scenarios present on only one side are listed
+    separately so a silently dropped benchmark cannot read as "no
+    regression".
     """
     before_scenarios = _as_scenarios(before)
     after_scenarios = _as_scenarios(after)
     deltas: List[ScenarioDelta] = []
-    for name, before_metrics in before_scenarios.items():
-        after_metrics = after_scenarios.get(name)
-        if after_metrics is None:
+    for key, (name, before_metrics) in before_scenarios.items():
+        matched = after_scenarios.get(key)
+        if matched is None:
             continue
+        after_metrics = matched[1]
         shared = [
             MetricDelta(metric, before_metrics[metric], after_metrics[metric])
             for metric in before_metrics
-            if metric in after_metrics
+            if metric in after_metrics and _metric_selected(metric, metrics)
         ]
         deltas.append(ScenarioDelta(name=name, metrics=shared))
     return ReportDiff(
         scenarios=deltas,
         only_before=[
-            name for name in before_scenarios if name not in after_scenarios
+            name for key, (name, _) in before_scenarios.items()
+            if key not in after_scenarios
         ],
         only_after=[
-            name for name in after_scenarios if name not in before_scenarios
+            name for key, (name, _) in after_scenarios.items()
+            if key not in before_scenarios
         ],
     )

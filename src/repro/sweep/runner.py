@@ -93,6 +93,8 @@ class SweepRunner:
             executor=session.engine.backend,
             max_workers=session.config.engine.max_workers,
             functional=config.engine.functional,
+            chunk_size=session.config.engine.chunk_size,
+            steal_deadline=session.config.engine.steal_deadline,
         )
         key = (engine.fingerprint, engine.functional)
         if key in self._engines:
@@ -167,11 +169,14 @@ class SweepRunner:
                 batches[engine_id][1].append(batch_plan)
             entries.append((scenario, engine, sim_config, batch_plan))
 
-        # Phase 2: one flattened executor batch per distinct hardware
-        # config — cross-scenario duplicates simulate once, and the
-        # process/fleet tier sees the widest possible batch.
-        for engine, batch_plans in batches.values():
-            engine.run_plans(batch_plans)
+        # Phase 2: every engine group through one work-stealing queue —
+        # cross-scenario duplicates simulate once, engine groups overlap
+        # instead of running back to back, and fast executor slots steal
+        # the tail of slow ones' load.  (Single-slot backends fall back
+        # to one static batch per group inside run_plan_groups.)
+        from repro.engine.scheduler import run_plan_groups
+
+        scheduler_report = run_plan_groups(list(batches.values()))
 
         # Phase 3: assemble per-scenario reports (tune/compare scenarios
         # execute here, still through the shared engines and cache).
@@ -189,6 +194,7 @@ class SweepRunner:
                     counters={
                         **batch_plan.counters(),
                         "executor": engine.backend.name,
+                        "scheduler": dict(scheduler_report),
                     },
                 )
             elif scenario.kind == "tune":
@@ -216,6 +222,7 @@ class SweepRunner:
             counters[key] = (
                 getattr(cache, key.split("_", 1)[1]) - cache_baseline[key]
             )
+        counters["scheduler"] = dict(scheduler_report)
         return SweepReport(scenarios=results, counters=counters)
 
     # ------------------------------------------------------------------
@@ -264,7 +271,9 @@ class SweepRunner:
             raise TuningError(
                 f"tuner must be one of {sorted(tuners)}, got {tuning.tuner!r}"
             )
-        result = tuners[tuning.tuner](task, seed=tuning.seed).tune(
+        tuner = tuners[tuning.tuner](task, seed=tuning.seed)
+        tuner.speculation = tuning.speculation
+        result = tuner.tune(
             n_trials=tuning.trials,
             early_stopping=tuning.early_stopping,
         )
