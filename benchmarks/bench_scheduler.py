@@ -20,12 +20,18 @@ layers.  It times three arms over identical work:
   and the "total busy time" used for the utilization estimate);
 * **static** — the legacy path: one ``backend.run`` fan-out per engine
   group, barriered, on a 4-worker process pool;
-* **pull** — ``run_plan_groups`` over all groups on the same pool.
+* **pull** — ``run_plan_groups`` over all groups on the same pool;
+* **thread** — ``run_plan_groups`` on a 4-worker *thread* pool.  The
+  historical claim that threads "help little" dated from the pure-Python
+  cycle models holding the GIL; with blocking waits and numpy batch
+  kernels releasing it, threads overlap too, and this arm keeps that
+  claim measured instead of folklore.
 
-Results must be bit-identical across the three arms; the pull arm must
-beat static by >= 1.5x wall-clock (the sum-of-stragglers vs
-max-of-stragglers gap).  Emits ``BENCH_scheduler.json`` with the wall
-times, the utilization estimates and the scheduler counters.
+Results must be bit-identical across all arms; the pull arm must beat
+static by >= 1.5x wall-clock (the sum-of-stragglers vs
+max-of-stragglers gap), and the thread arm must beat serial by >= 1.5x.
+Emits ``BENCH_scheduler.json`` with the wall times, the utilization
+estimates and the scheduler counters.
 
 The straggler latency is injected by wrapping
 ``repro.engine.backends.simulate_layer`` *before* the process pool
@@ -41,7 +47,7 @@ from conftest import SMOKE, emit, scaled
 
 import repro.engine.backends as backends_mod
 from repro.engine import EvalRequest, EvaluationEngine
-from repro.engine.backends import ProcessBackend
+from repro.engine.backends import ProcessBackend, ThreadBackend
 from repro.engine.scheduler import run_plan_groups
 from repro.stonne.config import sigma_config
 from repro.stonne.layer import FcLayer
@@ -149,32 +155,40 @@ def _warm_pool(backend):
 def _run():
     backends_mod.simulate_layer = _skewed_simulate
     backend = ProcessBackend(max_workers=WORKERS)
+    thread_backend = ThreadBackend(max_workers=WORKERS)
     try:
         serial_s, serial_stats = _serial_arm()
         _warm_pool(backend)
         static_s, static_stats = _static_arm(backend)
         pull_s, pull_stats, report = _pull_arm(backend)
+        thread_s, thread_stats, thread_report = _pull_arm(thread_backend)
     finally:
         backend.close()
+        thread_backend.close()
         backends_mod.simulate_layer = _REAL_SIMULATE
     return {
         "serial_s": serial_s,
         "static_s": static_s,
         "pull_s": pull_s,
+        "thread_s": thread_s,
         "serial_stats": serial_stats,
         "static_stats": static_stats,
         "pull_stats": pull_stats,
+        "thread_stats": thread_stats,
         "report": report,
+        "thread_report": thread_report,
     }
 
 
 def test_scheduler_saturation(benchmark, results_dir):
     out = benchmark.pedantic(_run, rounds=1, iterations=1)
     speedup = out["static_s"] / out["pull_s"]
+    thread_speedup = out["serial_s"] / out["thread_s"]
     items = len(GROUP_SIZES) * (1 + LIGHT_LAYERS)
     # Utilization: busy time (the serial wall clock) over slot-seconds.
     util_static = out["serial_s"] / (WORKERS * out["static_s"])
     util_pull = out["serial_s"] / (WORKERS * out["pull_s"])
+    util_thread = out["serial_s"] / (WORKERS * out["thread_s"])
     record = {
         "benchmark": "scheduler",
         "smoke": SMOKE,
@@ -185,12 +199,16 @@ def test_scheduler_saturation(benchmark, results_dir):
         "serial_s": round(out["serial_s"], 4),
         "static_s": round(out["static_s"], 4),
         "pull_s": round(out["pull_s"], 4),
+        "thread_s": round(out["thread_s"], 4),
         "speedup_vs_static": round(speedup, 3),
+        "thread_speedup_vs_serial": round(thread_speedup, 3),
         "utilization_static": round(util_static, 4),
         "utilization_pull": round(util_pull, 4),
+        "utilization_thread": round(util_thread, 4),
         "bit_identical": (
             out["pull_stats"] == out["serial_stats"]
             and out["static_stats"] == out["serial_stats"]
+            and out["thread_stats"] == out["serial_stats"]
         ),
         "counters": {
             key: value
@@ -209,19 +227,30 @@ def test_scheduler_saturation(benchmark, results_dir):
         f"{'serial':<10}{out['serial_s']:>10.3f}{'':>13}",
         f"{'static':<10}{out['static_s']:>10.3f}{util_static:>12.0%}",
         f"{'pull':<10}{out['pull_s']:>10.3f}{util_pull:>12.0%}",
+        f"{'thread':<10}{out['thread_s']:>10.3f}{util_thread:>12.0%}",
         f"speedup vs static fan-out: {speedup:.2f}x   "
+        f"thread vs serial: {thread_speedup:.2f}x   "
         f"counters: {out['report']['chunks_pulled']} pulls, "
         f"{out['report']['steals']} steals, "
         f"{out['report']['resplits']} re-splits",
     ]
     emit(results_dir, "scheduler", "\n".join(lines))
 
-    # Correctness first: all three arms bit-identical.
+    # Correctness first: all four arms bit-identical.
     assert out["report"]["mode"] == "pull"
+    assert out["thread_report"]["mode"] == "pull"
     assert out["static_stats"] == out["serial_stats"]
     assert out["pull_stats"] == out["serial_stats"]
+    assert out["thread_stats"] == out["serial_stats"]
     # The straggler injection only reaches pool workers where the pool
     # forks (Linux); without it there is no skew to reclaim.
     if not SMOKE and multiprocessing.get_start_method() == "fork":
         assert speedup >= 1.5, f"pull speedup only {speedup:.2f}x"
         assert util_pull > util_static
+    # Thread slots share the patched interpreter on every platform; the
+    # straggler sleeps (and numpy batch kernels) release the GIL, so
+    # threads must reclaim the skew too.
+    if not SMOKE:
+        assert thread_speedup >= 1.5, (
+            f"thread speedup only {thread_speedup:.2f}x"
+        )

@@ -5,15 +5,18 @@ The evaluation engine separates *what* to simulate (cache-missing
 :class:`ExecutorBackend`, selected by name through a registry that
 mirrors the controller registry (:mod:`repro.stonne.controller`):
 
-* :class:`SerialBackend` — inline, one simulation at a time;
-* :class:`ThreadBackend` — a thread pool.  Threads share memory (cheap
-  fan-out for engines whose work releases the GIL) but the pure-Python
-  cycle models serialize on the GIL, so CPU-heavy sweeps gain little;
+* :class:`SerialBackend` — inline, one chunk at a time;
+* :class:`ThreadBackend` — a thread pool.  Same-layer work in a chunk
+  executes as one numpy batch kernel (:func:`simulate_chunk`), and
+  numpy releases the GIL inside its array loops, so grouped chunks
+  genuinely overlap across threads; only singleton scalar simulations
+  still serialize on the GIL;
 * :class:`ProcessBackend` — a process pool.  Controllers are pure
   functions of (config, params, layer, mapping) and every piece
   pickles cleanly, so workers rebuild the controller once per process,
-  simulate their chunk, and ship ``(key, stats)`` pairs back for the
-  parent to merge into its :class:`~repro.engine.cache.StatsCache`.
+  simulate their chunk (grouped through the same batch kernels), and
+  ship ``(key, stats)`` pairs back for the parent to merge into its
+  :class:`~repro.engine.cache.StatsCache`.
 
 Backends receive work as ``(key, EvalRequest)`` pairs — ``key`` is the
 content-addressed cache key (``None`` when caching is off) — and return
@@ -94,9 +97,18 @@ class ExecutorBackend:
         Called concurrently from scheduler puller threads, one per slot
         from :meth:`pull_slots` — implementations must be thread-safe
         across distinct slots.  The default runs inline (correct for
-        thread-pool semantics, where the puller thread *is* the lane).
+        thread-pool semantics, where the puller thread *is* the lane),
+        grouping the chunk's same-layer items through the controller's
+        batch kernels (:func:`simulate_chunk`).
         """
-        return [_simulate_item(engine, item) for item in items]
+        local = getattr(engine, "_local_controller", None)
+        if local is None:  # duck-typed engines without the controller seam
+            return [_simulate_item(engine, item) for item in items]
+        pairs = [(request.layer, request.mapping) for _, request in items]
+        payloads = simulate_chunk(
+            local(), pairs, getattr(engine, "functional", False)
+        )
+        return [(key, payload) for (key, _), payload in zip(items, payloads)]
 
     def close(self) -> None:
         """Release pooled resources (idempotent; no-op by default)."""
@@ -140,6 +152,80 @@ def simulate_layer(controller, layer, mapping, functional: bool):
     return stats
 
 
+def simulate_layer_batch(controller, layer, mappings) -> List:
+    """Simulate one layer under many mappings through the controller's
+    batch kernels; returns stats-or-exception per item, in order.
+
+    GEMM layers carry no mapping, so a group of ``n`` items lowers to
+    ``run_gemm_batch([layer] * n)``.  Duck-typed controllers without the
+    batch surface fall back to a scalar loop — batching is an
+    optimization, never a requirement.
+    """
+    from repro.stonne.layer import ConvLayer, FcLayer
+
+    if isinstance(layer, ConvLayer):
+        batch = getattr(controller, "run_conv_batch", None)
+        if batch is not None:
+            return batch(layer, mappings)
+    elif isinstance(layer, FcLayer):
+        batch = getattr(controller, "run_fc_batch", None)
+        if batch is not None:
+            return batch(layer, mappings)
+    else:
+        batch = getattr(controller, "run_gemm_batch", None)
+        if batch is not None:
+            return batch([layer] * len(mappings))
+    results: List = []
+    for mapping in mappings:
+        try:
+            results.append(simulate_layer(controller, layer, mapping, False))
+        except Exception as exc:
+            results.append(exc)
+    return results
+
+
+def simulate_chunk(controller, pairs, functional: bool) -> List:
+    """Payloads (stats or the captured exception) for a chunk of
+    ``(layer, mapping)`` pairs, in submission order.
+
+    The chunk-grouping rule: pairs sharing a layer (dataclass equality —
+    the engine's structural dedup already collapses same-shape duplicates
+    at plan time) form one group, and each multi-item group is simulated
+    by a single controller batch-kernel call.  Singleton groups,
+    unhashable duck-typed layers and functional mode go through the
+    scalar :func:`simulate_layer` seam one at a time, preserving its
+    exact behaviour (including test monkeypatching) where batching buys
+    nothing.
+    """
+    groups: Dict = {}
+    singles: List[int] = []
+    if functional:
+        singles = list(range(len(pairs)))
+    else:
+        for index, (layer, _) in enumerate(pairs):
+            try:
+                groups.setdefault(layer, []).append(index)
+            except TypeError:  # unhashable duck-typed layer
+                singles.append(index)
+    results: List = [None] * len(pairs)
+    for layer, indices in groups.items():
+        if len(indices) == 1:
+            singles.extend(indices)
+            continue
+        payloads = simulate_layer_batch(
+            controller, layer, [pairs[i][1] for i in indices]
+        )
+        for index, payload in zip(indices, payloads):
+            results[index] = payload
+    for index in sorted(singles):
+        layer, mapping = pairs[index]
+        try:
+            results[index] = simulate_layer(controller, layer, mapping, functional)
+        except Exception as exc:
+            results[index] = exc
+    return results
+
+
 def _simulate_item(engine, item: WorkItem) -> WorkResult:
     """Run one simulation in the calling thread, capturing errors."""
     key, request = item
@@ -150,12 +236,17 @@ def _simulate_item(engine, item: WorkItem) -> WorkResult:
 
 
 class SerialBackend(ExecutorBackend):
-    """Inline execution — the baseline every other backend must beat."""
+    """Inline execution — the baseline every other backend must beat.
+
+    Static batches run as one inline chunk, so same-layer groups still
+    collapse into batch-kernel calls: the serial default benefits from
+    vectorization exactly like the pooled backends.
+    """
 
     name = "serial"
 
     def run(self, engine, items, max_workers=None):
-        return [_simulate_item(engine, item) for item in items]
+        return self.run_chunk(engine, items)
 
 
 class _PooledBackend(ExecutorBackend):
@@ -202,7 +293,15 @@ class ThreadBackend(_PooledBackend):
     """Thread-pooled execution.
 
     Each worker thread lazily builds its own controller through the
-    engine (cycle-model tallies must not race).
+    engine (cycle-model tallies must not race).  Historically this
+    backend "helped little" — not because of anything subtle, but
+    because the cycle models were pure Python and therefore fully
+    GIL-bound.  With chunks grouped into numpy batch kernels
+    (:func:`simulate_chunk`) the array math releases the GIL, so
+    scheduler-driven thread runs now overlap for real; see
+    ``benchmarks/bench_scheduler.py`` for the measured scenario.
+    Per-item static batches (this class's :meth:`run`) remain
+    GIL-bound scalar simulations.
     """
 
     name = "thread"
@@ -233,8 +332,10 @@ def _process_chunk(spec: Tuple, chunk: List[Tuple]) -> List[Tuple]:
     """Worker entry point: simulate one chunk of (position, key, layer,
     mapping) items under the controller described by ``spec``.
 
-    Runs in the worker process.  Returns (position, key, stats-or-error)
-    triples; errors are captured so a bad mapping never kills the pool.
+    Runs in the worker process.  Same-layer items group into one batch
+    kernel call (:func:`simulate_chunk`).  Returns (position, key,
+    stats-or-error) triples; errors are captured so a bad mapping never
+    kills the pool.
     """
     fingerprint, controller_cls, config, params, functional = spec
     controller = _WORKER_CONTROLLERS.get(fingerprint)
@@ -242,24 +343,24 @@ def _process_chunk(spec: Tuple, chunk: List[Tuple]) -> List[Tuple]:
         controller = controller_cls(config, params)
         _WORKER_CONTROLLERS[fingerprint] = controller
 
-    results: List[Tuple] = []
-    for position, key, layer, mapping in chunk:
-        try:
-            results.append(
-                (position, key, simulate_layer(controller, layer, mapping, functional))
-            )
-        except Exception as exc:
-            results.append((position, key, exc))
-    return results
+    pairs = [(layer, mapping) for _, _, layer, mapping in chunk]
+    payloads = simulate_chunk(controller, pairs, functional)
+    return [
+        (position, key, payload)
+        for (position, key, _, _), payload in zip(chunk, payloads)
+    ]
 
 
 class ProcessBackend(_PooledBackend):
     """Process-pooled execution for CPU-bound sweeps.
 
-    The pure-Python cycle models hold the GIL, so threads cannot speed
-    them up; processes can.  Work is split into one chunk per worker to
-    amortize pickling, each worker simulates its chunk with a per-process
-    cached controller, and the parent merges the returned ``(key, stats)``
+    Processes sidestep the GIL entirely, which made this the only real
+    fan-out for the historical pure-Python models; with chunks grouped
+    into numpy batch kernels the thread backend competes again, but
+    processes still win when chunks degenerate to singleton scalar
+    simulations.  Work is split into one chunk per worker to amortize
+    pickling, each worker simulates its chunk with a per-process cached
+    controller, and the parent merges the returned ``(key, stats)``
     pairs into its cache.
     """
 

@@ -29,7 +29,8 @@ import hashlib
 import json
 import threading
 from dataclasses import asdict, dataclass, fields
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from functools import lru_cache
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.stonne.controller import AcceleratorController, make_controller
@@ -77,11 +78,39 @@ def fingerprint_config(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Per-class cache of non-name field names: ``dataclasses.fields`` builds
+#: a fresh tuple of Field objects on every call, which showed up in
+#: profiles when keying generation-sized tuner batches.
+_LAYER_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _layer_field_names(cls: type) -> Tuple[str, ...]:
+    names = _LAYER_FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls) if f.name != "name")
+        _LAYER_FIELD_NAMES[cls] = names
+    return names
+
+
+@lru_cache(maxsize=4096)
+def _layer_key_cached(layer) -> Tuple:
+    return tuple(getattr(layer, name) for name in _layer_field_names(type(layer)))
+
+
 def _layer_key(layer: Layer) -> Tuple:
-    """Structural identity of a layer: every field except its name."""
-    return tuple(
-        getattr(layer, f.name) for f in fields(layer) if f.name != "name"
-    )
+    """Structural identity of a layer: every field except its name.
+
+    Memoized on the layer itself — the built-in layers are frozen,
+    hashable dataclasses, and a tuner batch keys the same few layer
+    objects thousands of times.  Unhashable duck-typed layers fall back
+    to direct reflection.
+    """
+    try:
+        return _layer_key_cached(layer)
+    except TypeError:
+        return tuple(
+            getattr(layer, f.name) for f in fields(layer) if f.name != "name"
+        )
 
 
 def evaluation_key(

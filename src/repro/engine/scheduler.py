@@ -29,6 +29,14 @@ duplicated — first-writer-wins only ever picks between identical
 payloads.  Counters (pulls, steals, re-splits, idle time) are exact
 under an injectable clock, which is how the test suite pins them.
 
+Chunk grouping: a chunk is executed by the backend's ``run_chunk``,
+which groups the chunk's items by layer (dataclass equality) and makes
+one controller batch-kernel call per multi-item group — each chunk
+already belongs to exactly one engine, so (engine fingerprint,
+structural layer) is the effective grouping key.  Singleton groups run
+through the scalar ``simulate_layer`` seam; results are bit-identical
+either way (see :func:`repro.engine.backends.simulate_chunk`).
+
 :func:`run_plan_groups` is the entry point: the sweep runner hands it
 every engine's plans at once; ``EvaluationEngine.run_plans`` is the
 single-group special case.  Backends opt in by returning two or more

@@ -36,7 +36,7 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine.backends import simulate_layer
+from repro.engine.backends import simulate_chunk
 from repro.engine.cache import StatsCache
 from repro.errors import FleetError
 from repro.fleet import protocol
@@ -163,8 +163,12 @@ class FleetWorker(socketserver.ThreadingTCPServer):
             controller, functional = self._controller_for(message.get("spec", {}))
         except protocol.ProtocolError as exc:
             return protocol.error_message(exc)
-        entries = []
-        for item in message.get("items", []):
+        items = message.get("items", [])
+        entries: List[Optional[Dict]] = [None] * len(items)
+        #: Cache misses: (slot, pos, key, layer, mapping) awaiting one
+        #: grouped simulate_chunk pass.
+        pending = []
+        for slot, item in enumerate(items):
             pos = item.get("pos")
             try:
                 layer = protocol.layer_from_wire(item["layer"])
@@ -174,25 +178,35 @@ class FleetWorker(socketserver.ThreadingTCPServer):
                     self.cache is not None and key is not None
                 ) else None
                 if stats is None:
-                    # One controller per fingerprint, many handler
-                    # threads: cycle-model tallies must not race.
-                    with self._controller_lock:
-                        stats = simulate_layer(
-                            controller, layer, mapping, functional
-                        )
-                    if self.cache is not None and key is not None:
-                        self.cache.put(key, stats)
+                    pending.append((slot, pos, key, layer, mapping))
                 else:
                     stats.layer_name = layer.name
-                entries.append({"pos": pos, "stats": stats.to_dict()})
+                    entries[slot] = {"pos": pos, "stats": stats.to_dict()}
             except Exception as exc:
-                entries.append(
-                    {
+                entries[slot] = {
+                    "pos": pos,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                }
+        if pending:
+            pairs = [(layer, mapping) for _, _, _, layer, mapping in pending]
+            # One controller per fingerprint, many handler threads:
+            # cycle-model tallies must not race.  The whole chunk runs
+            # under the lock, grouped so repeated layers share one batch
+            # kernel call (same path as the engine backends).
+            with self._controller_lock:
+                payloads = simulate_chunk(controller, pairs, functional)
+            for (slot, pos, key, _, _), payload in zip(pending, payloads):
+                if isinstance(payload, Exception):
+                    entries[slot] = {
                         "pos": pos,
-                        "error": str(exc),
-                        "error_type": type(exc).__name__,
+                        "error": str(payload),
+                        "error_type": type(payload).__name__,
                     }
-                )
+                else:
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, payload)
+                    entries[slot] = {"pos": pos, "stats": payload.to_dict()}
         self.batches_served += 1
         self.items_served += len(entries)
         return protocol.results_message(entries)

@@ -12,14 +12,20 @@ psum-guided tuning.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import MappingError, TuningError
 from repro.mrna.model import MaeriAnalyticalModel
 from repro.stonne.config import ControllerType, SimulatorConfig
 from repro.stonne.layer import ConvLayer, FcLayer
-from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.mapping import (
+    ConvMapping,
+    FcMapping,
+    conv_batch_invalid,
+    fc_batch_invalid,
+)
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
 
 
@@ -28,6 +34,40 @@ def _divisor_options(bound: int, cap: int) -> List[int]:
     options = {d for d in range(1, min(bound, cap) + 1) if bound % d == 0}
     options.add(min(bound, cap))
     return sorted(options)
+
+
+def _divisors(bound: int) -> List[int]:
+    """All divisors of ``bound``, ascending."""
+    return [d for d in range(1, bound + 1) if bound % d == 0]
+
+
+def _tile_grid(levels: Sequence[int], ms: int) -> List[Tuple[int, ...]]:
+    """Every structured tile tuple over ``levels``, in exact nested-loop order.
+
+    Level-wise prefix expansion of the mapper's nested divisor loops:
+    each level's options are :func:`_divisor_options`\\ (bound, ms //
+    prefix_product) — divisors ascending, with the capacity cap appended
+    when it is not itself a divisor — so the flattened order (and hence
+    argmin tie-breaking) is identical to iterating the loops.  Tuples
+    only; mappings are constructed for the single winner.
+    """
+    prefixes: List[Tuple[int, ...]] = [()]
+    products: List[int] = [1]
+    for bound in levels:
+        divisors = _divisors(bound)
+        next_prefixes: List[Tuple[int, ...]] = []
+        next_products: List[int] = []
+        for prefix, product in zip(prefixes, products):
+            limit = min(bound, ms // product)
+            count = bisect_right(divisors, limit)
+            options = divisors[:count]
+            if not options or options[-1] != limit:
+                options = options + [limit]
+            for value in options:
+                next_prefixes.append(prefix + (value,))
+                next_products.append(product * value)
+        prefixes, products = next_prefixes, next_products
+    return prefixes
 
 
 @dataclass
@@ -95,7 +135,77 @@ class MrnaMapper:
         return best.mapping  # type: ignore[return-value]
 
     def score_conv(self, layer: ConvLayer) -> MappingChoice:
-        """Best candidate with its estimated cycle count."""
+        """Best candidate with its estimated cycle count.
+
+        One numpy pass: the divisor grid is enumerated as plain tuples
+        (:func:`_tile_grid`), scored in a single
+        :meth:`~repro.mrna.model.MaeriAnalyticalModel.conv_cycles_batch`
+        call, and only the argmin row becomes a :class:`ConvMapping`.
+        Bit-identical to the scalar scan (same candidate order, argmin
+        keeps the first minimum); layers near int64 limits replay the
+        exact scalar loop.
+        """
+        try:
+            return self._score_conv_batch(layer)
+        except OverflowError:
+            return self._score_conv_scalar(layer)
+
+    def score_fc(self, layer: FcLayer) -> MappingChoice:
+        try:
+            return self._score_fc_batch(layer)
+        except OverflowError:
+            return self._score_fc_scalar(layer)
+
+    # ------------------------------------------------------------------
+    def _score_conv_batch(self, layer: ConvLayer) -> MappingChoice:
+        import numpy as np
+
+        ms = self.config.ms_size
+        grid = _tile_grid(
+            (
+                layer.R, layer.S, layer.C // layer.G,
+                layer.K // layer.G, layer.P, layer.Q,
+            ),
+            ms,
+        )
+        # Grid order (T_R, T_S, T_C, T_K, T_X, T_Y) -> as_tuple order
+        # with the fixed T_G = T_N = 1 columns inserted.
+        packed = np.array(grid, dtype=np.int64).reshape(len(grid), 6)
+        tiles = np.ones((len(grid), 8), dtype=np.int64)
+        tiles[:, (0, 1, 2, 3)] = packed[:, (0, 1, 2, 3)]
+        tiles[:, (6, 7)] = packed[:, (4, 5)]
+        valid = np.flatnonzero(~conv_batch_invalid(layer, tiles, ms))
+        if not valid.size:
+            raise TuningError(f"no valid conv mapping for layer {layer.name!r}")
+        cycles = self.model.conv_cycles_batch(layer, tiles[valid])
+        pos = int(np.argmin(cycles))
+        row = tiles[valid[pos]].tolist()
+        mapping = ConvMapping(
+            T_R=row[0], T_S=row[1], T_C=row[2], T_K=row[3],
+            T_G=row[4], T_N=row[5], T_X=row[6], T_Y=row[7],
+        )
+        return MappingChoice(mapping=mapping, estimated_cycles=int(cycles[pos]))
+
+    def _score_fc_batch(self, layer: FcLayer) -> MappingChoice:
+        import numpy as np
+
+        ms = self.config.ms_size
+        grid = _tile_grid((layer.out_features, layer.in_features), ms)
+        packed = np.array(grid, dtype=np.int64).reshape(len(grid), 2)
+        tiles = np.ones((len(grid), 3), dtype=np.int64)
+        tiles[:, (0, 1)] = packed
+        valid = np.flatnonzero(~fc_batch_invalid(layer, tiles, ms))
+        if not valid.size:
+            raise TuningError(f"no valid FC mapping for layer {layer.name!r}")
+        cycles = self.model.fc_cycles_batch(layer, tiles[valid])
+        pos = int(np.argmin(cycles))
+        row = tiles[valid[pos]].tolist()
+        mapping = FcMapping(T_S=row[0], T_K=row[1], T_N=row[2])
+        return MappingChoice(mapping=mapping, estimated_cycles=int(cycles[pos]))
+
+    # ------------------------------------------------------------------
+    def _score_conv_scalar(self, layer: ConvLayer) -> MappingChoice:
+        """The original scalar scan (arbitrary-precision fallback)."""
         best: Optional[MappingChoice] = None
         for mapping in self.conv_candidates(layer):
             try:
@@ -109,7 +219,7 @@ class MrnaMapper:
             raise TuningError(f"no valid conv mapping for layer {layer.name!r}")
         return best
 
-    def score_fc(self, layer: FcLayer) -> MappingChoice:
+    def _score_fc_scalar(self, layer: FcLayer) -> MappingChoice:
         best: Optional[MappingChoice] = None
         for mapping in self.fc_candidates(layer):
             try:

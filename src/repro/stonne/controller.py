@@ -19,7 +19,17 @@ from __future__ import annotations
 
 import functools
 from dataclasses import replace as _dataclass_replace
-from typing import Callable, ClassVar, Dict, FrozenSet, List, Optional, Type, Union
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Type,
+    Union,
+)
 
 from repro.errors import ConfigError, UnsupportedLayerError
 from repro.stonne.config import ControllerType
@@ -65,6 +75,21 @@ def _single_batch(layer):
     return _dataclass_replace(layer, batch=1)
 
 
+def _batch_parallel_error(mapping, layer, count):
+    """The error for a T_N > 1 mapping on a batch-N layer.
+
+    Shared between the scalar batch-N wrapper and the vectorized batch
+    kernels so the two paths can never disagree about the message.
+    """
+    from repro.errors import MappingError
+
+    return MappingError(
+        f"T_N={mapping.T_N} batch-parallel mappings are not "
+        f"modelled; batch-N layers run as N sequential "
+        f"simulations with T_N=1 (layer {layer.name!r}, N={count})"
+    )
+
+
 def _sequential_batches(method):
     """Wrap a (layer, mapping) controller method with batch-N expansion.
 
@@ -89,13 +114,7 @@ def _sequential_batches(method):
             # yet (see ROADMAP "Tiled batch schedules"); fail with the
             # real reason instead of "T_N exceeds batch=1" from the
             # single-batch replica's validation.
-            from repro.errors import MappingError
-
-            raise MappingError(
-                f"T_N={mapping.T_N} batch-parallel mappings are not "
-                f"modelled; batch-N layers run as N sequential "
-                f"simulations with T_N=1 (layer {layer.name!r}, N={count})"
-            )
+            raise _batch_parallel_error(mapping, layer, count)
         outcome = method(self, _single_batch(layer), mapping)
         if isinstance(outcome, SimulationStats):
             return outcome.repeated(count, layer_name=layer.name)
@@ -103,6 +122,54 @@ def _sequential_batches(method):
 
     wrapper._batch_expanded = True
     return wrapper
+
+
+def _captured(method, layer, mapping):
+    """One scalar batch-item call with its exception captured, not raised."""
+    try:
+        return method(layer, mapping)
+    except Exception as exc:
+        return exc
+
+
+#: Batch kernels route rows whose intermediate products could exceed this
+#: bound back through the exact scalar path: the array math is int64 while
+#: Python ints are arbitrary-precision.  The 4x headroom below 2**63
+#: absorbs the float64 rounding in the guard estimates themselves.
+_INT64_SAFE = float(2 ** 61)
+
+#: Above this bound an int->float64 conversion rounds, so float products
+#: in a kernel could differ from the scalar path's exact-int-then-convert
+#: ordering by an ulp; such rows also fall back to the scalar path.
+_FLOAT_EXACT = float(2 ** 53)
+
+
+def _lowered_gemm_batch(controller, layer, mappings):
+    """Batch kernel for mapping-free controllers (SIGMA, TPU, MAGMA).
+
+    Those fabrics ignore the mapping entirely, so every item of a
+    same-layer group is the *same* simulation: run the lowered GEMM once
+    and hand each item an independent copy (scaled by ``repeated`` for
+    batch-N layers).  The only per-item divergence the scalar path has
+    is the batch-parallel T_N rejection, reproduced here.
+    """
+    count = _batch_count(layer)
+    base = layer if count == 1 else _single_batch(layer)
+    template = None
+    results: List[Union[SimulationStats, Exception]] = []
+    for mapping in mappings:
+        if count > 1 and mapping is not None and getattr(mapping, "T_N", 1) != 1:
+            results.append(_batch_parallel_error(mapping, layer, count))
+            continue
+        if template is None:
+            try:
+                template = controller.run_gemm(base.as_gemm())
+            except Exception as exc:
+                results.append(exc)
+                continue
+            template.layer_name = layer.name
+        results.append(template.repeated(count))
+    return results
 
 
 class AcceleratorController:
@@ -167,6 +234,61 @@ class AcceleratorController:
             "raw GEMM workloads require SIGMA, MAGMA or TPU; "
             "MAERI runs conv2d/dense"
         )
+
+    # ------------------------------------------------------------------
+    # batch kernels
+    # ------------------------------------------------------------------
+    # One call simulates a whole same-layer group of mappings.  The
+    # contract, shared by these defaults and the vectorized overrides
+    # (MAERI, SIGMA, TPU, MAGMA):
+    #
+    # * the returned list matches ``mappings`` in length and order;
+    # * every element is either the scalar method's result for that item
+    #   (a SimulationStats / psum int, batch-N ``repeated`` semantics
+    #   included) or the exact exception instance the scalar call would
+    #   have raised — one invalid mapping never poisons the batch;
+    # * results are bit-identical to the scalar path (all array math in
+    #   the overrides is integer-only), so batch execution is an
+    #   optimization, never an approximation.
+    #
+    # The defaults loop the scalar methods, so third-party controllers
+    # stay correct without opting in.
+
+    def run_conv_batch(
+        self, layer: ConvLayer, mappings: Sequence[Optional[ConvMapping]]
+    ) -> List[Union[SimulationStats, Exception]]:
+        """Simulate ``layer`` under every mapping; per-item error capture."""
+        return [_captured(self.run_conv, layer, m) for m in mappings]
+
+    def run_fc_batch(
+        self, layer: FcLayer, mappings: Sequence[Optional[FcMapping]]
+    ) -> List[Union[SimulationStats, Exception]]:
+        """Simulate ``layer`` under every mapping; per-item error capture."""
+        return [_captured(self.run_fc, layer, m) for m in mappings]
+
+    def run_gemm_batch(
+        self, gemms: Sequence[GemmLayer]
+    ) -> List[Union[SimulationStats, Exception]]:
+        """Simulate every GEMM; per-item error capture."""
+        results: List[Union[SimulationStats, Exception]] = []
+        for gemm in gemms:
+            try:
+                results.append(self.run_gemm(gemm))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    def estimate_conv_psums_batch(
+        self, layer: ConvLayer, mappings: Sequence[Optional[ConvMapping]]
+    ) -> List[Union[int, Exception]]:
+        """Psum estimates for every mapping; per-item error capture."""
+        return [_captured(self.estimate_conv_psums, layer, m) for m in mappings]
+
+    def estimate_fc_psums_batch(
+        self, layer: FcLayer, mappings: Sequence[Optional[FcMapping]]
+    ) -> List[Union[int, Exception]]:
+        """Psum estimates for every mapping; per-item error capture."""
+        return [_captured(self.estimate_fc_psums, layer, m) for m in mappings]
 
     # ------------------------------------------------------------------
     # psum estimation (the cheap tuning proxy of §VII-B)

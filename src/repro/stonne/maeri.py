@@ -28,18 +28,32 @@ deterministic function of (layer, config, mapping) exactly like STONNE.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.errors import ConfigError
 from repro.stonne.config import ControllerType, SimulatorConfig
-from repro.stonne.controller import AcceleratorController, register_controller
+from repro.stonne.controller import (
+    AcceleratorController,
+    _INT64_SAFE,
+    _batch_count,
+    _captured,
+    _single_batch,
+    register_controller,
+)
 from repro.stonne.distribution import DistributionNetwork
 from repro.stonne.layer import ConvLayer, FcLayer, ceil_div
-from repro.stonne.mapping import ConvMapping, FcMapping
+from repro.stonne.mapping import (
+    ConvMapping,
+    FcMapping,
+    conv_batch_invalid,
+    fc_batch_invalid,
+    pack_conv_mappings,
+    pack_fc_mappings,
+)
 from repro.stonne.memory import AccumulationBuffer
 from repro.stonne.multiplier import LinearMultiplierNetwork
 from repro.stonne.params import CycleModelParams, DEFAULT_PARAMS
-from repro.stonne.reduction import make_reduction_network
+from repro.stonne.reduction import TemporalRN, make_reduction_network
 from repro.stonne.stats import SimulationStats, TrafficBreakdown
 
 
@@ -267,3 +281,234 @@ class MaeriController(AcceleratorController):
         mapping = mapping or FcMapping.basic()
         mapping.validate_for(layer, self.config.ms_size)
         return self.fc_psums(layer, mapping)
+
+    # ------------------------------------------------------------------
+    # vectorized batch kernels
+    # ------------------------------------------------------------------
+    # One numpy pass over a whole group of mappings for the same layer —
+    # the tuner/sweep hot path.  Bit-identity with the scalar methods is
+    # the contract (see AcceleratorController): the array math is
+    # integer-only, rows the scalar path would reject (or whose
+    # intermediates could overflow int64) are re-run through the scalar
+    # method so messages, error types and arbitrary-precision results
+    # stay exactly identical.
+
+    def run_conv_batch(
+        self, layer: ConvLayer, mappings: Sequence[Optional[ConvMapping]]
+    ) -> List[Union[SimulationStats, Exception]]:
+        return self._batch_kernel(layer, mappings, conv=True, estimate=False)
+
+    def run_fc_batch(
+        self, layer: FcLayer, mappings: Sequence[Optional[FcMapping]]
+    ) -> List[Union[SimulationStats, Exception]]:
+        return self._batch_kernel(layer, mappings, conv=False, estimate=False)
+
+    def estimate_conv_psums_batch(
+        self, layer: ConvLayer, mappings: Sequence[Optional[ConvMapping]]
+    ) -> List[Union[int, Exception]]:
+        return self._batch_kernel(layer, mappings, conv=True, estimate=True)
+
+    def estimate_fc_psums_batch(
+        self, layer: FcLayer, mappings: Sequence[Optional[FcMapping]]
+    ) -> List[Union[int, Exception]]:
+        return self._batch_kernel(layer, mappings, conv=False, estimate=True)
+
+    def _batch_kernel(self, layer, mappings, conv: bool, estimate: bool) -> List:
+        import numpy as np
+
+        results: List = [None] * len(mappings)
+        if not mappings:
+            return results
+
+        if estimate:
+            scalar = self.estimate_conv_psums if conv else self.estimate_fc_psums
+        else:
+            scalar = self.run_conv if conv else self.run_fc
+        count = _batch_count(layer)
+        base = layer if count == 1 else _single_batch(layer)
+        ms_size = self.config.ms_size
+
+        try:
+            bad, arrays = self._batch_arrays(base, mappings, count, conv, estimate)
+        except OverflowError:
+            # A layer dimension or tile beyond int64; Python's
+            # arbitrary-precision scalar path handles it.
+            return [_captured(scalar, layer, m) for m in mappings]
+
+        # Flagged rows (invalid mapping, batch-parallel T_N, TEMPORALRN
+        # spatial reduction, or int64-overflow risk) replay through the
+        # scalar method: same result or the exact exception it raises.
+        for row in np.flatnonzero(bad).tolist():
+            results[row] = _captured(scalar, layer, mappings[row])
+        ok = np.flatnonzero(~bad)
+        if not ok.size:
+            return results
+
+        if estimate:
+            for pos, value in enumerate(arrays["psums"].tolist()):
+                results[ok[pos]] = value * count
+            return results
+
+        # Accumulator tallies are recorded for the N=1 base run, exactly
+        # like the scalar wrapper (``repeated`` never touches them).
+        self.accumulator.record_partial_writes(sum(arrays["partial_writes"].tolist()))
+        self.accumulator.record_final_writes(sum(arrays["final_writes"].tolist()))
+
+        name = layer.name
+        ctrl = self.config.controller_type.value
+        macs_total = base.macs * count
+        outputs_written = base.output_elements * count
+        cycles_l = (arrays["cycles"] * count).tolist()
+        psums_l = (arrays["psums"] * count).tolist()
+        iters_l = (arrays["iterations"] * count).tolist()
+        used_l = arrays["used"].tolist()
+        wd_l = (arrays["weights_distributed"] * count).tolist()
+        id_l = (arrays["inputs_distributed"] * count).tolist()
+        fill_l = (arrays["fill"] * count).tolist()
+        steady_l = (arrays["steady"] * count).tolist()
+        for pos, row in enumerate(ok.tolist()):
+            results[row] = SimulationStats(
+                layer_name=name,
+                controller=ctrl,
+                cycles=cycles_l[pos],
+                psums=psums_l[pos],
+                macs=macs_total,
+                iterations=iters_l[pos],
+                multipliers_used=used_l[pos],
+                array_size=ms_size,
+                traffic=TrafficBreakdown(
+                    weights_distributed=wd_l[pos],
+                    inputs_distributed=id_l[pos],
+                    psums_reduced=psums_l[pos],
+                    outputs_written=outputs_written,
+                ),
+                phase_cycles={"fill": fill_l[pos], "steady": steady_l[pos]},
+            )
+        return results
+
+    def _batch_arrays(self, base, mappings, count: int, conv: bool, estimate: bool):
+        """The (bad-row mask, per-valid-row int64 arrays) for a batch.
+
+        Pure computation — no accumulator side effects — so callers can
+        abandon it (overflow fallback) without double counting.
+        """
+        import numpy as np
+
+        ms_size = self.config.ms_size
+        if conv:
+            default = ConvMapping.basic()
+            normalized = [default if m is None else m for m in mappings]
+            tiles = pack_conv_mappings(normalized)
+            bad = conv_batch_invalid(base, tiles, ms_size)
+            t_n = tiles[:, 5]
+            spatial_one = (
+                (tiles[:, 0] == 1) & (tiles[:, 1] == 1) & (tiles[:, 2] == 1)
+            )
+            fold_bounds = (
+                base.R, base.S, base.C // base.G, base.K // base.G,
+                base.G, base.N, base.P, base.Q,
+            )
+        else:
+            default = FcMapping.basic()
+            normalized = [default if m is None else m for m in mappings]
+            tiles = pack_fc_mappings(normalized)
+            bad = fc_batch_invalid(base, tiles, ms_size)
+            t_n = tiles[:, 2]
+            spatial_one = tiles[:, 1] == 1
+            fold_bounds = (base.out_features, base.in_features, base.batch)
+        if count > 1:
+            # The scalar wrapper rejects batch-parallel T_N before
+            # validation; replaying flagged rows preserves that ordering.
+            bad = bad | (t_n != 1)
+        if not estimate and isinstance(self.reduction, TemporalRN):
+            bad = bad | ~spatial_one
+
+        if max(fold_bounds) >= 2 ** 62:
+            raise OverflowError("layer dimension beyond the int64 kernel")
+        folds = np.stack(
+            [-(-bound // tiles[:, i]) for i, bound in enumerate(fold_bounds)]
+        )
+
+        # Overflow guard in float64: float products of the (individually
+        # small) columns bound every int64 product the kernel forms; rows
+        # within 4x of int64 range go back to the exact scalar path.
+        tf = tiles.T.astype(np.float64)
+        ff = folds.astype(np.float64)
+        iter_f = ff.prod(axis=0)
+        if conv:
+            red_f = ff[0] * ff[1] * ff[2]
+            vn_f = tf[0] * tf[1] * tf[2]
+            num_f = tf[3] * tf[4] * tf[5] * tf[6] * tf[7]
+            w_f = vn_f * tf[3] * tf[4]
+            in_rows_f = (tf[6] - 1) * base.stride_h + tf[0]
+            in_cols_f = (tf[7] - 1) * base.stride_w + tf[1]
+            i_f = tf[4] * tf[2] * in_rows_f * in_cols_f * tf[5]
+            psum_f = float(base.output_elements) * red_f + iter_f
+        else:
+            red_f = ff[1]
+            vn_f = tf[1]
+            num_f = tf[0] * tf[2]
+            w_f = tf[0] * tf[1]
+            i_f = tf[1] * tf[2]
+            psum_f = iter_f * (num_f * np.maximum(vn_f - 1.0, 0.0) + 1.0)
+        occ = self.reduction.rmw_occupancy
+        stall_const = self.accumulator.hazard_stall(True)
+        per_iter_f = w_f + i_f + num_f * occ + stall_const + 1.0
+        big = iter_f * per_iter_f * count > _INT64_SAFE
+        big |= psum_f * count > _INT64_SAFE
+        big |= vn_f * num_f > _INT64_SAFE
+        bad = bad | big
+
+        ok = ~bad
+        st = tiles[ok].T
+        sf = folds[:, ok]
+        iterations = sf.prod(axis=0)
+        if conv:
+            red = sf[0] * sf[1] * sf[2]
+            vn = st[0] * st[1] * st[2]
+            num = st[3] * st[4] * st[5] * st[6] * st[7]
+            weights = vn * st[3] * st[4]
+            in_rows = (st[6] - 1) * base.stride_h + st[0]
+            in_cols = (st[7] - 1) * base.stride_w + st[1]
+            inputs = st[4] * st[2] * in_rows * in_cols * st[5]
+            psums = base.output_elements * red + iterations
+        else:
+            red = sf[1]
+            vn = st[1]
+            num = st[0] * st[2]
+            weights = st[0] * st[1]
+            inputs = st[1] * st[2]
+            psums = iterations * (num * np.maximum(vn - 1, 0) + 1)
+        if estimate:
+            return bad, {"psums": psums}
+
+        used = vn * num
+        dn = -(-(weights + inputs) // self.config.dn_bw)
+        rn_partial = -(-(num * occ) // self.config.rn_bw)
+        rn_final = -(-num // self.config.rn_bw)
+        compute = -(-(vn * num) // used)
+        raw = np.where(red > 1, np.int64(stall_const), np.int64(0))
+        out_iters = iterations // red
+        partial_iters = out_iters * (red - 1)
+        final_iters = iterations - partial_iters
+        one = np.ones_like(dn)
+        ii_partial = np.maximum.reduce([dn, rn_partial, compute, raw, one])
+        ii_final = np.maximum.reduce([dn, rn_final, compute, raw, one])
+        fill = (
+            self.params.config_cycles
+            + self.distribution.fill_latency() * self.params.pipeline_fill_per_level
+            + self.reduction.reduction_latency_batch(vn)
+        )
+        steady = partial_iters * ii_partial + final_iters * ii_final
+        return bad, {
+            "psums": psums,
+            "iterations": iterations,
+            "used": used,
+            "weights_distributed": iterations * weights,
+            "inputs_distributed": iterations * inputs,
+            "fill": fill,
+            "steady": steady,
+            "cycles": fill + steady,
+            "partial_writes": partial_iters * num,
+            "final_writes": final_iters * num,
+        }

@@ -17,7 +17,7 @@ into (i.e. does not exceed) the corresponding layer dimension.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 from repro.errors import MappingError
 from repro.stonne.layer import ConvLayer, FcLayer, ceil_div
@@ -208,6 +208,68 @@ class FcMapping:
     def basic(cls) -> "FcMapping":
         """The unoptimized default mapping (1, 1, 1)."""
         return cls()
+
+
+# ----------------------------------------------------------------------
+# batch-kernel helpers (vectorized packing and validation)
+# ----------------------------------------------------------------------
+def pack_conv_mappings(mappings: Sequence[ConvMapping]):
+    """Pack conv mappings into an ``(N, 8)`` int64 array (as_tuple order)."""
+    import numpy as np
+
+    return np.array([m.as_tuple() for m in mappings], dtype=np.int64).reshape(
+        len(mappings), 8
+    )
+
+
+def pack_fc_mappings(mappings: Sequence[FcMapping]):
+    """Pack FC mappings into an ``(N, 3)`` int64 array (as_tuple order)."""
+    import numpy as np
+
+    return np.array([m.as_tuple() for m in mappings], dtype=np.int64).reshape(
+        len(mappings), 3
+    )
+
+
+def conv_batch_invalid(layer: ConvLayer, tiles, ms_size: int):
+    """Vectorized :meth:`ConvMapping.validate_for`: True where invalid.
+
+    ``tiles`` is an ``(N, 8)`` array from :func:`pack_conv_mappings`.
+    The mask marks exactly the rows whose scalar validation would raise
+    (capacity first, then per-tile layer bounds); callers report each
+    flagged row through the scalar path so messages stay identical.
+    """
+    import numpy as np
+
+    # Capacity in float64: products of eight int64 columns can wrap, and
+    # the comparison is exact anyway (any product above 2**53 dwarfs any
+    # real ms_size; below that float64 is exact).
+    used = tiles.astype(np.float64).prod(axis=1)
+    bad = used > ms_size
+    bounds = (
+        layer.R, layer.S, layer.C // layer.G, layer.K // layer.G,
+        layer.G, layer.N, layer.P, layer.Q,
+    )
+    for column, bound in zip(tiles.T, bounds):
+        bad = bad | (column > bound)
+    return bad
+
+
+def fc_batch_invalid(layer: FcLayer, tiles, ms_size: int):
+    """Vectorized :meth:`FcMapping.validate_for`: True where invalid.
+
+    ``tiles`` is an ``(N, 3)`` array from :func:`pack_fc_mappings`.
+    """
+    import numpy as np
+
+    t_s, t_k, t_n = tiles.T
+    used = tiles.astype(np.float64).prod(axis=1)
+    return (
+        (used > ms_size)
+        | (t_s > layer.out_features)
+        | (t_k > layer.in_features)
+        | (t_n > layer.batch)
+    )
 
 
 def enumerate_conv_mappings(

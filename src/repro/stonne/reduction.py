@@ -67,9 +67,34 @@ class ReductionNetworkBase:
     def reduction_latency(self, vn_size: int) -> int:
         raise NotImplementedError
 
+    def reduction_latency_batch(self, vn_sizes):
+        """Vectorized :meth:`reduction_latency` over an int array.
+
+        The default loops the scalar method (correct for any subclass);
+        the built-in fabrics override it with exact integer array math
+        so batch kernels stay bit-identical to the scalar path.
+        """
+        import numpy as np
+
+        return np.array(
+            [self.reduction_latency(int(v)) for v in vn_sizes], dtype=np.int64
+        )
+
     def spatial_psums(self, vn_size: int, num_vns: int) -> int:
         """Partial sums generated *inside* the fabric per iteration."""
         raise NotImplementedError
+
+
+def _ceil_log2_batch(v):
+    """Exact ``ceil(log2(v))`` per element for ``v >= 1``.
+
+    ``frexp`` returns the binary exponent, i.e. the bit length, which is
+    exact for any int64 a float64 can represent — unlike a float
+    ``ceil(log2(...))`` round trip.  ``ceil(log2(v)) == bit_length(v-1)``.
+    """
+    import numpy as np
+
+    return np.frexp((v - 1).astype(np.float64))[1].astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -81,6 +106,14 @@ class ARTNetwork(ReductionNetworkBase):
         if vn_size < 1:
             raise SimulationError(f"vn_size must be >= 1, got {vn_size}")
         return math.ceil(math.log2(vn_size)) if vn_size > 1 else 0
+
+    def reduction_latency_batch(self, vn_sizes):
+        import numpy as np
+
+        v = np.asarray(vn_sizes, dtype=np.int64)
+        if v.size and int(v.min()) < 1:
+            raise SimulationError(f"vn_size must be >= 1, got {int(v.min())}")
+        return _ceil_log2_batch(v)
 
     def spatial_psums(self, vn_size: int, num_vns: int) -> int:
         """A VN of size ``v`` performs ``v - 1`` adds, each emitting a psum."""
@@ -104,6 +137,14 @@ class FENetwork(ReductionNetworkBase):
             return 0
         return min(vn_size - 1, 2 * math.ceil(math.log2(vn_size)))
 
+    def reduction_latency_batch(self, vn_sizes):
+        import numpy as np
+
+        v = np.asarray(vn_sizes, dtype=np.int64)
+        if v.size and int(v.min()) < 1:
+            raise SimulationError(f"vn_size must be >= 1, got {int(v.min())}")
+        return np.minimum(v - 1, 2 * _ceil_log2_batch(v))
+
     def spatial_psums(self, vn_size: int, num_vns: int) -> int:
         """Forwarding generates a psum per hop: also ``v - 1`` per VN."""
         return num_vns * max(0, vn_size - 1)
@@ -125,6 +166,17 @@ class TemporalRN(ReductionNetworkBase):
                 f"TEMPORALRN cannot spatially reduce (vn_size={vn_size})"
             )
         return 0
+
+    def reduction_latency_batch(self, vn_sizes):
+        import numpy as np
+
+        v = np.asarray(vn_sizes, dtype=np.int64)
+        spatial = v[v != 1]
+        if spatial.size:
+            raise SimulationError(
+                f"TEMPORALRN cannot spatially reduce (vn_size={int(spatial[0])})"
+            )
+        return np.zeros(v.shape, dtype=np.int64)
 
     def spatial_psums(self, vn_size: int, num_vns: int) -> int:
         return 0

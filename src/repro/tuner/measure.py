@@ -239,6 +239,11 @@ class _MaeriLayerTask(TuningTask):
     def _estimate_psums(self, mapping) -> int:
         raise NotImplementedError
 
+    def _estimate_psums_batch(self, mappings: Sequence) -> List:
+        """Per-mapping psum estimates (value or captured exception), via
+        the controller's batch kernels — one numpy pass per generation."""
+        raise NotImplementedError
+
     def _cost_from_stats(self, stats) -> float:
         if self.objective == "energy":
             from repro.stonne.energy import estimate_energy
@@ -257,11 +262,13 @@ class _MaeriLayerTask(TuningTask):
     ) -> List[float]:
         """Batch evaluation: one ``evaluate_many`` per generation.
 
-        The psums objective is closed-form (no simulation), so it stays a
-        loop; cycles/energy submit every simulation-requiring config in a
-        single engine batch, which the executor backend may fan out over
-        threads or worker processes.  Per-config mapping failures price
-        at :data:`INVALID_COST` without poisoning the batch.
+        The psums objective is closed-form (no simulation): the whole
+        generation is scored in one controller batch-kernel call
+        (:meth:`_estimate_psums_batch`).  Cycles/energy submit every
+        simulation-requiring config in a single engine batch, which the
+        executor backend may fan out over threads or worker processes.
+        Per-config mapping failures price at :data:`INVALID_COST`
+        without poisoning the batch.
 
         ``speculative`` configs become low-priority scheduler requests
         riding the same engine batch: they run only on otherwise-idle
@@ -274,13 +281,21 @@ class _MaeriLayerTask(TuningTask):
         for position, config in enumerate(configs):
             try:
                 mapping = self.best_mapping(config)
-                if self.objective == "psums":
-                    costs[position] = float(self._estimate_psums(mapping))
-                else:
-                    pending_positions.append(position)
-                    pending_mappings.append(mapping)
+                pending_positions.append(position)
+                pending_mappings.append(mapping)
             except MappingError:
                 costs[position] = INVALID_COST
+        if self.objective == "psums":
+            if pending_mappings:
+                estimates = self._estimate_psums_batch(pending_mappings)
+                for position, estimate in zip(pending_positions, estimates):
+                    if isinstance(estimate, MappingError):
+                        costs[position] = INVALID_COST
+                    elif isinstance(estimate, Exception):
+                        raise estimate
+                    else:
+                        costs[position] = float(estimate)
+            return costs
         spec_requests: List[EvalRequest] = []
         if speculative and self.objective != "psums":
             for config in speculative:
@@ -331,6 +346,9 @@ class MaeriConvTask(_MaeriLayerTask):
     def _estimate_psums(self, mapping) -> int:
         return self.controller.estimate_conv_psums(self.layer, mapping)
 
+    def _estimate_psums_batch(self, mappings: Sequence) -> List:
+        return self.controller.estimate_conv_psums_batch(self.layer, mappings)
+
 
 class MaeriFcTask(_MaeriLayerTask):
     """Tune the FC mapping of ``layer`` on a MAERI configuration."""
@@ -355,6 +373,9 @@ class MaeriFcTask(_MaeriLayerTask):
 
     def _estimate_psums(self, mapping) -> int:
         return self.controller.estimate_fc_psums(self.layer, mapping)
+
+    def _estimate_psums_batch(self, mappings: Sequence) -> List:
+        return self.controller.estimate_fc_psums_batch(self.layer, mappings)
 
 
 class CallableTask(TuningTask):
