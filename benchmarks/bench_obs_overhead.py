@@ -1,0 +1,126 @@
+"""Observability overhead benchmark: disabled tracing must stay <2%.
+
+The tracer's contract (see ``repro.obs.trace``) is that a disabled
+call site costs one attribute check plus a cached no-op context
+manager — nothing else.  This bench holds that contract against
+``bench_kernels``-scale work, the same analytic way the smoke gate
+does (``scripts/obs_smoke.py``, 5% at smoke scale):
+
+* measure the per-call cost of a disabled span directly (best-of-N
+  over a tight loop — the only thing instrumentation adds to an
+  untraced run);
+* run a traced multi-scenario sweep to count how many events that
+  workload actually records (spans + instants, the number of call
+  sites crossed);
+* run the identical sweep untraced and take its wall time.
+
+``overhead = per_call_s * events / untraced_wall_s`` is the fraction
+of the untraced run spent in no-op tracer calls.  Computing it
+analytically instead of diffing two wall-clock runs keeps the gate
+deterministic: two racing A/B runs of a scheduler workload differ by
+more than 2% from machine noise alone, which would make the gate
+flake in both directions.  Emits ``BENCH_obs.json``.
+"""
+
+import json
+import time
+
+from conftest import SMOKE, emit, scaled
+
+from repro.obs import get_tracer
+from repro.session import Session
+from repro.sweep import SweepPlan
+
+#: Disabled-span timing loop (per-call cost is ~hundreds of ns, so the
+#: loop needs millions of iterations for a stable figure).
+NOOP_CALLS = scaled(2_000_000, 200_000)
+
+#: Scenario matrix: models x ms_size axis, the bench_kernels-scale
+#: sweep workload (full scale simulates every conv layer of three zoo
+#: models twice over the process pool).
+MODELS = scaled(["mlp", "lenet", "alexnet"], ["mlp", "lenet"])
+AXIS_VALUES = scaled(["64", "128"], ["64"])
+
+OVERHEAD_LIMIT = 0.02
+
+
+def _measure_noop_span_s(tracer) -> float:
+    """Best-of-3 per-call cost of a disabled span call site."""
+    assert not tracer.enabled
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(NOOP_CALLS):
+            with tracer.span("noop", category="scheduler", lane="slot-0"):
+                pass
+        best = min(best, time.perf_counter() - start)
+    return best / NOOP_CALLS
+
+
+def _plan(session):
+    return SweepPlan.matrix(
+        session.config,
+        models=list(MODELS),
+        axes={"architecture.ms_size": list(AXIS_VALUES)},
+    )
+
+
+def _count_traced_events(tracer) -> int:
+    """Events a traced run of the workload records (call sites hit)."""
+    with Session(executor="process", max_workers=2, trace=True) as session:
+        session._trace_owner = False  # count events; skip the file write
+        session.sweep(_plan(session))
+        events = len(tracer.spans())
+    tracer.disable()
+    tracer.clear()
+    return events
+
+
+def _untraced_wall_s() -> float:
+    start = time.perf_counter()
+    with Session(executor="process", max_workers=2) as session:
+        session.sweep(_plan(session))
+    return time.perf_counter() - start
+
+
+def _run():
+    tracer = get_tracer()
+    per_call_s = _measure_noop_span_s(tracer)
+    events = _count_traced_events(tracer)
+    wall_s = _untraced_wall_s()
+    return {
+        "per_call_s": per_call_s,
+        "events": events,
+        "untraced_wall_s": wall_s,
+        "overhead": (per_call_s * events) / wall_s,
+    }
+
+
+def test_obs_overhead(benchmark, results_dir):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record = {
+        "benchmark": "obs_overhead",
+        "smoke": SMOKE,
+        "noop_span_ns": round(out["per_call_s"] * 1e9, 1),
+        "traced_events": out["events"],
+        "untraced_wall_s": round(out["untraced_wall_s"], 4),
+        "overhead_pct": round(out["overhead"] * 100, 4),
+        "limit_pct": OVERHEAD_LIMIT * 100,
+    }
+    (results_dir / "BENCH_obs.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    lines = [
+        f"disabled span: {record['noop_span_ns']:.0f} ns/call "
+        f"(best of 3 x {NOOP_CALLS:,} calls)",
+        f"traced sweep: {out['events']} events over "
+        f"{len(MODELS)}x{len(AXIS_VALUES)} scenarios",
+        f"untraced wall: {out['untraced_wall_s']:.3f} s",
+        f"disabled-tracing overhead: {out['overhead']:.4%} "
+        f"(limit {OVERHEAD_LIMIT:.0%})",
+    ]
+    emit(results_dir, "obs_overhead", "\n".join(lines))
+    assert out["overhead"] < OVERHEAD_LIMIT, (
+        f"disabled tracing costs {out['overhead']:.4%} of an untraced "
+        f"run, above the {OVERHEAD_LIMIT:.0%} contract"
+    )

@@ -29,6 +29,9 @@ Subcommands:
   working ``--config`` file);
 * ``worker`` — a fleet worker daemon serving simulation batches over
   TCP (its cache settings come from the same config sections);
+* ``trace`` — inspect trace files recorded with ``--trace``
+  (``summary`` for the self-time/hit-rate table, ``export`` for a
+  plain Chrome trace-event file);
 * ``cache`` — maintenance of persistent stats caches (``compact``).
 
 Every measurement subcommand accepts ``--config path.toml`` plus the
@@ -61,9 +64,11 @@ def _print_fleet_report(engine) -> None:
     so scripted checks (CI's distributed smoke) gate on this line rather
     than on results alone, which fallback would leave identical.
     """
+    from repro.engine.scheduler import backend_counters
+
     backend = engine.backend
-    counters = getattr(backend, "scheduler_counters", None)
-    if counters and counters.get("chunks_pulled"):
+    counters = backend_counters(backend)
+    if counters.get("chunks_pulled"):
         print(f"scheduler: {counters['chunks_pulled']} chunks pulled, "
               f"{counters['steals']} steals, "
               f"{counters['resplits']} re-splits")
@@ -74,13 +79,33 @@ def _print_fleet_report(engine) -> None:
 
 
 def _print_cache_report(engine, cache_path: Optional[str]) -> None:
-    """One-line hit/miss summary for runs using a persistent cache."""
+    """One-line hit/miss summary for runs using a persistent cache.
+
+    Persistent tiers append their per-tier breakdown (L1 memory hits
+    vs JSONL/SQLite fallthrough, evictions), so the line shows *which*
+    tier served the run, not just that some tier did.
+    """
     if not cache_path:
         return
     counters = engine.counters()
+    tiers = getattr(engine.cache, "tier_counters", None)
+    tier_text = ""
+    if callable(tiers):
+        parts = ", ".join(
+            f"{key}={value}" for key, value in sorted(tiers().items())
+        )
+        tier_text = f" [{parts}]"
     print(f"stats cache: {counters['cache_hits']} hits / "
           f"{counters['cache_misses']} misses "
-          f"({counters['cache_hit_rate']:.1%}) -> {cache_path}")
+          f"({counters['cache_hit_rate']:.1%}){tier_text} -> {cache_path}")
+
+
+def _print_trace_report(session) -> None:
+    """Where the session's trace landed (printed after close)."""
+    if session.trace_path:
+        print(f"trace written to {session.trace_path} "
+              f"(load in chrome://tracing, or: repro trace summary "
+              f"{session.trace_path})")
 
 
 def _cmd_features(args) -> int:
@@ -110,6 +135,7 @@ def _cmd_run(args) -> int:
             print(f"run report written to {args.report_json}")
         _print_cache_report(session.engine, config.cache.path)
         _print_fleet_report(session.engine)
+    _print_trace_report(session)
     return 0
 
 
@@ -134,6 +160,7 @@ def _cmd_tune(args) -> int:
         if args.log:
             report.records.save_jsonl(args.log)
             print(f"tuning log written to {args.log}")
+    _print_trace_report(session)
     return 0
 
 
@@ -152,6 +179,7 @@ def _cmd_compare(args) -> int:
         print(comparison_table(rows, list(report.schemes)))
         _print_cache_report(session.engine, config.cache.path)
         _print_fleet_report(session.engine)
+    _print_trace_report(session)
     return 0
 
 
@@ -203,6 +231,7 @@ def _cmd_sweep(args) -> int:
             print(f"sweep report written to {args.report_json}")
         _print_cache_report(session.engine, config.cache.path)
         _print_fleet_report(session.engine)
+    _print_trace_report(session)
     return 0
 
 
@@ -275,6 +304,43 @@ def _cmd_worker(args) -> int:
         quiet=args.quiet,
         capacity=config.fleet.capacity,
     )
+
+
+def _cmd_trace(args) -> int:
+    """Inspect and convert trace files written by ``--trace``."""
+    import json
+
+    from repro.obs import chrome_events, read_trace, spans_from_document
+    from repro.obs import summarize_spans
+
+    try:
+        doc = read_trace(args.input)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.input!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    spans = spans_from_document(doc)
+    if args.trace_command == "export":
+        out = {
+            "displayTimeUnit": "ms",
+            "traceEvents": chrome_events(spans),
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(out, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"{len(spans)} spans exported to {args.output} "
+              f"(chrome://tracing / Perfetto)")
+        return 0
+    if args.trace_command == "summary":
+        section = doc.get("reproTrace")
+        metrics = (
+            section.get("metrics", {}) if isinstance(section, dict) else {}
+        )
+        print(summarize_spans(spans, metrics, top=args.top))
+        return 0
+    print(f"error: unknown trace command {args.trace_command!r}",
+          file=sys.stderr)
+    return 2
 
 
 def _cmd_cache(args) -> int:
@@ -350,6 +416,24 @@ saturation scheduling:
   connection entirely — deadline seconds, timeout minutes).  Results
   stay bit-identical to --executor serial; per-run steal/re-split
   counters land in the report JSON under counters.scheduler.
+
+tracing and metrics:
+  Any run/tune/compare/sweep records spans with --trace: session ->
+  sweep -> engine -> per-slot scheduler chunks (steals, re-splits and
+  speculative pulls as distinct span names) -> cache tier events, plus
+  one lane per fleet worker with the worker's own batch timing shipped
+  back in the wire protocol.  The file loads directly in
+  chrome://tracing / Perfetto:
+      repro sweep --models mlp,lenet --executor process \\
+          --trace --trace-path sweep_trace.json --metrics
+      repro trace summary sweep_trace.json   # top spans by self-time,
+                                             # hit rates, slot usage
+      repro trace export sweep_trace.json chrome.json
+  --metrics attaches a metrics section (per-tier cache hit rates,
+  simulations/sec, chunk-latency histogram, fleet worker health) to
+  the report JSON; `repro report diff` shows its deltas when both
+  archives carry one.  Disabled tracing is a no-op check per span
+  (<2% overhead, gated by benchmarks/bench_obs_overhead.py).
 """
 
 
@@ -464,6 +548,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the structured diff as JSON instead of the table")
 
+    trace = sub.add_parser(
+        "trace",
+        help="inspect trace files recorded with --trace",
+        description="Inspect and convert the trace files any "
+                    "run/tune/compare/sweep writes under --trace "
+                    "(Chrome trace-event JSON plus a lossless "
+                    "reproTrace section).",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="write a plain Chrome trace-event file (traceEvents only) "
+             "for chrome://tracing or Perfetto",
+    )
+    export.add_argument("input", help="trace file written by --trace")
+    export.add_argument("output", help="Chrome trace-event JSON to write")
+    summary = trace_sub.add_parser(
+        "summary",
+        help="print top spans by self-time, cache hit rates and "
+             "scheduler slot utilization",
+    )
+    summary.add_argument("input", help="trace file written by --trace")
+    summary.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="rows in the span table (default 12)")
+
     cache = sub.add_parser(
         "cache", help="maintain persistent stats caches"
     )
@@ -490,6 +600,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "config": _cmd_config,
         "worker": _cmd_worker,
+        "trace": _cmd_trace,
         "cache": _cmd_cache,
     }
     try:

@@ -106,6 +106,7 @@ from repro.engine.evaluation import (
 from repro.engine.scheduler import (
     WorkQueue,
     backend_counters,
+    backend_metrics,
     run_plan_groups,
 )
 from repro.engine.sqlite_cache import SqliteStatsCache
@@ -123,6 +124,7 @@ __all__ = [
     "ThreadBackend",
     "WorkQueue",
     "backend_counters",
+    "backend_metrics",
     "evaluation_key",
     "fingerprint_config",
     "make_backend",

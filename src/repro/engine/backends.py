@@ -110,6 +110,25 @@ class ExecutorBackend:
         )
         return [(key, payload) for (key, _), payload in zip(items, payloads)]
 
+    @property
+    def metrics(self):
+        """The backend's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Created lazily on first access (subclasses do not all route
+        through a common ``__init__``).  The scheduler accumulates its
+        typed counters here under ``scheduler.*`` — see
+        :func:`repro.engine.scheduler.backend_counters` for the plain
+        dict view — and backends may add their own instruments (the
+        remote backend records per-worker fleet health).
+        """
+        registry = self.__dict__.get("_metrics_registry")
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            self.__dict__["_metrics_registry"] = registry
+        return registry
+
     def close(self) -> None:
         """Release pooled resources (idempotent; no-op by default)."""
 

@@ -24,8 +24,9 @@ import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Hashable, Optional, Tuple, Union
+from typing import Dict, Hashable, Optional, Tuple, Union
 
+from repro.obs.trace import TRACER
 from repro.stonne.stats import SimulationStats
 
 #: Default maximum number of cached records.  A record is a few hundred
@@ -47,6 +48,7 @@ class StatsCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
         self._records: "OrderedDict[Hashable, SimulationStats]" = OrderedDict()
 
@@ -70,8 +72,16 @@ class StatsCache:
         with self._lock:
             self._records[key] = stats.clone()
             self._records.move_to_end(key)
+            evicted = 0
             while len(self._records) > self.max_entries:
                 self._records.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.evictions += evicted
+                if TRACER.enabled:
+                    TRACER.instant(
+                        "cache.evict", category="cache",
+                        tier="memory", count=evicted)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -92,10 +102,26 @@ class StatsCache:
             self._records.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def counters(self) -> Tuple[int, int]:
         """(hits, misses) as a snapshot tuple."""
         return self.hits, self.misses
+
+    def tier_counters(self) -> "Dict[str, int]":
+        """Per-tier lookup accounting.
+
+        The base in-memory cache has one tier, so every hit is an L1
+        hit.  Persistent subclasses extend this with their second tier
+        (``db_hits`` for SQLite fallthrough, ``warm_entries`` for the
+        JSONL warm start) — the distinction ``hits``/``misses`` alone
+        cannot make.
+        """
+        return {
+            "l1_hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -176,8 +202,16 @@ class PersistentStatsCache(StatsCache):
         with self._lock:
             self._records[key] = stats.clone()
             self._records.move_to_end(key)
+            evicted = 0
             while len(self._records) > self.max_entries:
                 self._records.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.evictions += evicted
+                if TRACER.enabled:
+                    TRACER.instant(
+                        "cache.evict", category="cache",
+                        tier="jsonl-l1", count=evicted)
             if key not in self._persisted:
                 line = json.dumps(
                     {"key": key, "stats": stats.to_dict()}, default=str
@@ -192,10 +226,18 @@ class PersistentStatsCache(StatsCache):
             self._records.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
             self._persisted.clear()
             self.warm_entries = 0
             self._file.truncate(0)
             self._file.seek(0)
+
+    def tier_counters(self) -> Dict[str, int]:
+        """Per-tier accounting; the JSONL spill is read once at open, so
+        its contribution is the warm start rather than live fallthrough."""
+        counters = super().tier_counters()
+        counters["warm_entries"] = self.warm_entries
+        return counters
 
     def compact(self) -> Tuple[int, int]:
         """Rewrite the spill keeping only live, deduplicated records.

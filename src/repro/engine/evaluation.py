@@ -41,6 +41,7 @@ from repro.stonne.stats import SimulationStats
 
 from repro.engine.backends import ExecutorBackend, make_backend
 from repro.engine.cache import StatsCache
+from repro.obs.trace import TRACER
 
 Layer = Union[ConvLayer, FcLayer, GemmLayer]
 Mapping = Union[ConvMapping, FcMapping]
@@ -389,6 +390,14 @@ class EvaluationEngine:
         Sweep drivers call this once per scenario and then run every
         plan in one flattened executor batch.
         """
+        with TRACER.span("engine.plan_many", category="engine") as span:
+            plan = self._plan_many(requests)
+            span.set(requests=len(plan.requests), pending=plan.num_pending)
+            return plan
+
+    def _plan_many(
+        self, requests: Iterable[Union[EvalRequest, Layer]]
+    ) -> BatchPlan:
         normalized: List[EvalRequest] = [
             r if isinstance(r, EvalRequest) else EvalRequest(layer=r)
             for r in requests
@@ -409,26 +418,36 @@ class EvaluationEngine:
             return plan
 
         pending_keys: set = set()
-        for position, request in enumerate(normalized):
-            key = evaluation_key(self._fingerprint, request.layer, request.mapping)
-            if key in pending_keys:
-                # Resolved from the cache after the first occurrence runs,
-                # mirroring what a serial loop would do.
-                plan._duplicates.append((position, key))
-                continue
-            cached = self.cache.get(key)
-            if cached is not None:
-                # An attributed *copy*, mirroring run_plans' semantics:
-                # renaming the returned object in place would alias two
-                # plans onto one record whenever the cache's get() does
-                # not copy (duck-typed caches), letting the second
-                # scenario rename the first's result.
-                plan.results[position] = cached.clone(
-                    layer_name=request.layer.name
+        with TRACER.span("cache.lookup", category="cache") as span:
+            for position, request in enumerate(normalized):
+                key = evaluation_key(
+                    self._fingerprint, request.layer, request.mapping
                 )
-            else:
-                pending_keys.add(key)
-                plan._pending.append((key, position))
+                if key in pending_keys:
+                    # Resolved from the cache after the first occurrence
+                    # runs, mirroring what a serial loop would do.
+                    plan._duplicates.append((position, key))
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    # An attributed *copy*, mirroring run_plans'
+                    # semantics: renaming the returned object in place
+                    # would alias two plans onto one record whenever the
+                    # cache's get() does not copy (duck-typed caches),
+                    # letting the second scenario rename the first's
+                    # result.
+                    plan.results[position] = cached.clone(
+                        layer_name=request.layer.name
+                    )
+                else:
+                    pending_keys.add(key)
+                    plan._pending.append((key, position))
+            span.set(
+                lookups=len(normalized),
+                hits=len(normalized) - len(plan._pending) - len(plan._duplicates),
+                misses=len(plan._pending),
+                duplicates=len(plan._duplicates),
+            )
         return plan
 
     def _collect_pending(
@@ -533,13 +552,18 @@ class EvaluationEngine:
                 raise SimulationError(
                     "run_plans received a BatchPlan built by a different engine"
                 )
-        return run_plan_groups(
-            [(self, plans)],
-            max_workers=max_workers,
-            executor=executor,
-            return_errors=return_errors,
-            speculative=speculative,
-        )
+        with TRACER.span(
+            "engine.run_plans", category="engine",
+            plans=len(plans),
+            pending=sum(plan.num_pending for plan in plans),
+        ):
+            return run_plan_groups(
+                [(self, plans)],
+                max_workers=max_workers,
+                executor=executor,
+                return_errors=return_errors,
+                speculative=speculative,
+            )
 
     def evaluate_many(
         self,

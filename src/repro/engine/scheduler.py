@@ -52,6 +52,9 @@ import time
 from collections import deque
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
+
 #: Seconds a chunk may be in flight before idle slots re-split it.
 DEFAULT_STEAL_DEADLINE_S = 5.0
 
@@ -318,27 +321,56 @@ _WAIT = _Wait()
 
 
 # ----------------------------------------------------------------------
-# per-backend cumulative counters
+# per-backend cumulative counters (typed, in the metrics registry)
 # ----------------------------------------------------------------------
+#: Registry namespace the scheduler's counters live under.
+SCHEDULER_METRIC_PREFIX = "scheduler."
+
+
+def backend_metrics(backend) -> Optional[MetricsRegistry]:
+    """The backend's metrics registry, attaching one on first use.
+
+    :class:`~repro.engine.backends.ExecutorBackend` exposes a lazily
+    created ``metrics`` property; duck-typed third-party backends get a
+    registry set as a plain attribute.  Returns None only for
+    ``__slots__`` objects that cannot carry one.
+    """
+    registry = getattr(backend, "metrics", None)
+    if isinstance(registry, MetricsRegistry):
+        return registry
+    registry = MetricsRegistry()
+    try:
+        backend.metrics = registry
+    except AttributeError:
+        return None
+    return registry
+
+
 def backend_counters(backend) -> Dict[str, Any]:
-    """Cumulative scheduler counters of a backend (zeros if never used)."""
-    counters = getattr(backend, "scheduler_counters", None)
+    """Cumulative scheduler counters of a backend (zeros if never used).
+
+    The counters are typed :class:`~repro.obs.metrics.Counter`
+    instruments under ``scheduler.<key>`` in the backend's registry;
+    this is the plain-dict view reports and the CLI print.
+    """
     out = zero_counters()
-    if counters:
-        out.update(counters)
+    registry = getattr(backend, "metrics", None)
+    if isinstance(registry, MetricsRegistry):
+        recorded = registry.counters_with_prefix(SCHEDULER_METRIC_PREFIX)
+        for key in COUNTER_KEYS:
+            if key in recorded:
+                out[key] = recorded[key]
     return out
 
 
 def _accumulate(backend, report: Dict[str, Any]) -> None:
-    counters = getattr(backend, "scheduler_counters", None)
-    if counters is None:
-        counters = zero_counters()
-        try:
-            backend.scheduler_counters = counters
-        except AttributeError:  # __slots__ backends cannot carry counters
-            return
+    registry = backend_metrics(backend)
+    if registry is None:  # __slots__ backends cannot carry a registry
+        return
     for key in COUNTER_KEYS:
-        counters[key] = counters.get(key, 0) + report.get(key, 0)
+        value = report.get(key, 0)
+        if value:
+            registry.counter(SCHEDULER_METRIC_PREFIX + key).inc(value)
 
 
 # ----------------------------------------------------------------------
@@ -503,6 +535,25 @@ def _run_scheduled(
     clock,
 ) -> Dict[str, Any]:
     """The pull path: chunk, enqueue, drain with one puller per slot."""
+    with TRACER.span(
+        "scheduler.pull", category="scheduler",
+        groups=len(collected), slots=len(slots),
+    ):
+        return _run_scheduled_inner(
+            collected, backend, slots, speculative, chunk_size,
+            steal_deadline, clock,
+        )
+
+
+def _run_scheduled_inner(
+    collected,
+    backend,
+    slots: List,
+    speculative: Sequence[Any],
+    chunk_size: Optional[int],
+    steal_deadline: Optional[float],
+    clock,
+) -> Dict[str, Any]:
     group_sizes = [len(work) for _e, _p, work, _o in collected]
     queue = WorkQueue(
         num_groups=len(collected),
@@ -598,14 +649,49 @@ def _speculative_work(engine, collected, speculative) -> List[Tuple]:
     return out
 
 
+def _slot_lane(slot) -> str:
+    """A trace lane per backend slot (remote tokens flattened)."""
+    if isinstance(slot, tuple):
+        return "slot-" + "-".join(str(part) for part in slot)
+    return f"slot-{slot}"
+
+
+def _chunk_span_name(chunk: Chunk, slot) -> str:
+    """Distinct event names per lifecycle kind, so steals / re-splits /
+    speculation are visually distinguishable in a Chrome trace."""
+    if chunk.priority:
+        return "scheduler.speculative"
+    if chunk.resplit_of is not None:
+        return "scheduler.resplit"
+    if chunk.home is not None and chunk.home != slot:
+        return "scheduler.steal"
+    return "scheduler.chunk"
+
+
 def _drain(queue: WorkQueue, backend, slot) -> None:
     """One puller: pull, execute, complete, until the queue is done."""
+    lane = _slot_lane(slot)
+    registry = backend_metrics(backend)
+    latency = (
+        registry.histogram(SCHEDULER_METRIC_PREFIX + "chunk_latency_s")
+        if registry is not None
+        else None
+    )
     while True:
         chunk = queue.pull(slot)
         if chunk is None:
             return
-        try:
-            results = backend.run_chunk(chunk.engine, chunk.items, slot=slot)
-        except Exception as exc:  # infrastructure failure: fail the items
-            results = [(key, exc) for key, _request in chunk.items]
+        started = time.perf_counter()
+        with TRACER.span(
+            _chunk_span_name(chunk, slot), category="scheduler", lane=lane,
+            items=len(chunk.items), group=chunk.group, home=str(chunk.home),
+        ):
+            try:
+                results = backend.run_chunk(
+                    chunk.engine, chunk.items, slot=slot
+                )
+            except Exception as exc:  # infrastructure failure: fail items
+                results = [(key, exc) for key, _request in chunk.items]
+        if latency is not None:
+            latency.observe(time.perf_counter() - started)
         queue.complete(chunk, results)

@@ -28,9 +28,10 @@ import os
 import sqlite3
 import threading
 from pathlib import Path
-from typing import Hashable, Optional, Tuple, Union
+from typing import Dict, Hashable, Optional, Tuple, Union
 
 from repro.engine.cache import DEFAULT_MAX_ENTRIES, StatsCache, _freeze
+from repro.obs.trace import TRACER
 from repro.stonne.stats import SimulationStats
 
 #: Seconds a writer waits on a locked database before giving up.
@@ -100,7 +101,10 @@ class SqliteStatsCache(StatsCache):
         if max_rows is not None and max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
         self.max_rows = max_rows
-        self.evictions = 0
+        # ``hits`` (inherited) stays the total; these split it by tier so
+        # a shared-database fallthrough is distinguishable from an L1 hit.
+        self.l1_hits = 0
+        self.db_hits = 0
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # One connection per cache instance, shared across the engine's
@@ -165,6 +169,7 @@ class SqliteStatsCache(StatsCache):
             if record is not None:
                 self._records.move_to_end(key)
                 self.hits += 1
+                self.l1_hits += 1
                 if self.max_rows is not None:  # keep L1 hits encode-free
                     self._touch(encode_key(key))
                 return record.clone()
@@ -182,6 +187,10 @@ class SqliteStatsCache(StatsCache):
             while len(self._records) > self.max_entries:
                 self._records.popitem(last=False)
             self.hits += 1
+            self.db_hits += 1
+            if TRACER.enabled:
+                TRACER.instant(
+                    "cache.fallthrough", category="cache", tier="sqlite")
             return stats.clone()
 
     def put(self, key: Hashable, stats: SimulationStats) -> None:
@@ -222,6 +231,10 @@ class SqliteStatsCache(StatsCache):
             (overflow,),
         )
         self.evictions += overflow
+        if TRACER.enabled:
+            TRACER.instant(
+                "cache.evict", category="cache",
+                tier="sqlite", count=overflow)
 
     # ------------------------------------------------------------------
     def __contains__(self, key: Hashable) -> bool:
@@ -244,8 +257,24 @@ class SqliteStatsCache(StatsCache):
             self._records.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.l1_hits = 0
+            self.db_hits = 0
             self._conn.execute("DELETE FROM stats")
             self._conn.commit()
+
+    def tier_counters(self) -> "Dict[str, int]":
+        """Per-tier accounting: L1 hits vs shared-database fallthrough.
+
+        ``l1_hits + db_hits == hits`` — the inherited total is preserved
+        so ``hit_rate`` and every existing consumer keep their meaning.
+        """
+        return {
+            "l1_hits": self.l1_hits,
+            "db_hits": self.db_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def compact(self) -> Tuple[int, int]:
         """Reclaim free pages (VACUUM).  SQLite keys are primary keys, so

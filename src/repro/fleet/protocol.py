@@ -291,8 +291,19 @@ def evaluate_batch_message(
     }
 
 
-def results_message(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
-    return {"type": "results", "items": entries}
+def results_message(
+    entries: List[Dict[str, Any]],
+    timing: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A batch result; ``timing`` optionally carries worker-side
+    observability (pid, duration, cache hits).  It rides as an extra
+    key old clients ignore and old workers simply omit — version skew
+    in either direction degrades to "no remote spans", never an error.
+    """
+    message = {"type": "results", "items": entries}
+    if timing is not None:
+        message["timing"] = timing
+    return message
 
 
 def error_message(error: Exception) -> Dict[str, Any]:

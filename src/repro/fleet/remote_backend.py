@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -46,6 +47,7 @@ from repro.engine.backends import (
 )
 from repro.fleet import protocol
 from repro.fleet.worker import parse_address
+from repro.obs.trace import TRACER
 
 #: Environment variable naming the default worker pool
 #: (comma-separated ``host:port`` list).
@@ -347,22 +349,35 @@ class RemoteBackend(ExecutorBackend):
                   for position, key, layer, mapping in shard}
         candidates = [preferred] + [a for a in all_addresses if a != preferred]
         message = protocol.evaluate_batch_message(spec, shard)
-        for attempt, address in enumerate(candidates):
-            try:
-                response = self._link(address).request(message)
-            except (OSError, protocol.ProtocolError):
-                continue  # worker dead/unreachable; try a survivor
-            if response.get("type") == "error":
-                # Batch-fatal worker refusal (fingerprint/spec skew):
-                # retrying elsewhere cannot help less, but inline can.
-                break
-            if response.get("type") != "results":
-                continue
-            if attempt > 0:
-                self.retried_shards += 1
-            return self._decode_results(engine, response, by_pos)
+        registry = self.metrics
+        with TRACER.span(
+            "fleet.shard", category="fleet",
+            lane=f"fleet-{preferred}", items=len(shard),
+        ) as span:
+            for attempt, address in enumerate(candidates):
+                try:
+                    response = self._link(address).request(message)
+                except (OSError, protocol.ProtocolError):
+                    registry.counter(f"fleet.errors.{address}").inc()
+                    continue  # worker dead/unreachable; try a survivor
+                if response.get("type") == "error":
+                    # Batch-fatal worker refusal (fingerprint/spec skew):
+                    # retrying elsewhere cannot help less, but inline can.
+                    break
+                if response.get("type") != "results":
+                    continue
+                if attempt > 0:
+                    self.retried_shards += 1
+                    registry.counter("fleet.retried_shards").inc()
+                span.set(served_by=address)
+                registry.counter(f"fleet.shards.{address}").inc()
+                registry.counter(f"fleet.items.{address}").inc(len(shard))
+                self._record_worker_timing(address, response, registry)
+                return self._decode_results(engine, response, by_pos)
+            span.set(fallback=True)
         # No worker produced results: inline serial fallback.
         self.fallback_batches += 1
+        registry.counter("fleet.fallback_batches").inc()
         return [
             (
                 position,
@@ -375,6 +390,37 @@ class RemoteBackend(ExecutorBackend):
                 (p, by_pos[p]) for p in sorted(by_pos)
             )
         ]
+
+    def _record_worker_timing(self, address, response, registry) -> None:
+        """Absorb a worker's self-reported ``timing`` (optional key).
+
+        Old workers omit it — version skew degrades to "no remote
+        spans, no per-worker health", never an error.  The worker's
+        clock is not synchronised with ours, so its span is
+        right-aligned inside the just-finished local round trip.
+        """
+        timing = response.get("timing")
+        if not isinstance(timing, dict):
+            return
+        try:
+            duration = float(timing.get("duration_s", 0.0))
+        except (TypeError, ValueError):
+            return
+        registry.histogram("fleet.worker_duration_s").observe(duration)
+        for key in ("cache_hits", "simulated"):
+            value = timing.get(key)
+            if isinstance(value, int):
+                registry.counter(f"fleet.{key}.{address}").inc(value)
+        pid = timing.get("pid")
+        if isinstance(pid, int):
+            registry.gauge(f"fleet.pid.{address}").set(pid)
+        if TRACER.enabled:
+            client_end = time.perf_counter()
+            TRACER.add_span(
+                "fleet.worker", "fleet", f"fleet-{address}",
+                start=client_end - duration, duration=duration,
+                attrs=dict(timing, address=address),
+            )
 
     @staticmethod
     def _decode_results(engine, response: dict, by_pos: dict):

@@ -33,6 +33,7 @@ import socketserver
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -159,12 +160,14 @@ class FleetWorker(socketserver.ThreadingTCPServer):
         mapping must not poison a shard, mirroring the executor-backend
         contract.  Only a spec that cannot be rebuilt fails the batch.
         """
+        started = time.perf_counter()
         try:
             controller, functional = self._controller_for(message.get("spec", {}))
         except protocol.ProtocolError as exc:
             return protocol.error_message(exc)
         items = message.get("items", [])
         entries: List[Optional[Dict]] = [None] * len(items)
+        cache_hits = 0
         #: Cache misses: (slot, pos, key, layer, mapping) awaiting one
         #: grouped simulate_chunk pass.
         pending = []
@@ -182,6 +185,7 @@ class FleetWorker(socketserver.ThreadingTCPServer):
                 else:
                     stats.layer_name = layer.name
                     entries[slot] = {"pos": pos, "stats": stats.to_dict()}
+                    cache_hits += 1
             except Exception as exc:
                 entries[slot] = {
                     "pos": pos,
@@ -209,7 +213,14 @@ class FleetWorker(socketserver.ThreadingTCPServer):
                     entries[slot] = {"pos": pos, "stats": payload.to_dict()}
         self.batches_served += 1
         self.items_served += len(entries)
-        return protocol.results_message(entries)
+        timing = {
+            "pid": os.getpid(),
+            "duration_s": time.perf_counter() - started,
+            "cache_hits": cache_hits,
+            "simulated": len(pending),
+            "items": len(entries),
+        }
+        return protocol.results_message(entries, timing=timing)
 
     def close(self) -> None:
         """Stop serving and release the socket (idempotent)."""

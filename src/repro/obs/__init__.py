@@ -1,0 +1,52 @@
+"""repro.obs — observability: span tracing and a metrics registry.
+
+Two pillars:
+
+* :mod:`repro.obs.trace` — a process-global span tracer (``TRACER``)
+  with a no-op fast path when disabled, plus Chrome trace-event
+  export and a human summary.  Enable with ``--trace`` (the
+  ``[observability]`` config section); the session writes the trace
+  file on close.
+* :mod:`repro.obs.metrics` — typed counters / gauges / histograms
+  that absorb the scheduler counters, per-tier cache hit rates,
+  simulations/sec throughput and fleet per-worker health, and
+  serialise into the ``metrics`` section of run/sweep reports.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    CATEGORIES,
+    TRACE_VERSION,
+    TRACER,
+    Tracer,
+    chrome_events,
+    get_tracer,
+    read_trace,
+    spans_from_document,
+    summarize_spans,
+    trace_document,
+    write_trace,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACER",
+    "TRACE_VERSION",
+    "Tracer",
+    "chrome_events",
+    "get_tracer",
+    "read_trace",
+    "spans_from_document",
+    "summarize_spans",
+    "trace_document",
+    "write_trace",
+]

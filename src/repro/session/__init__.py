@@ -8,8 +8,9 @@ One typed config, one lifecycle facade::
         report = s.run("alexnet")
         print(report.total_cycles, report.to_json())
 
-:class:`SessionConfig` is a frozen dataclass with five sections
-(architecture, engine, cache, fleet, tuning) and layered construction —
+:class:`SessionConfig` is a frozen dataclass with six sections
+(architecture, engine, cache, fleet, tuning, observability) and
+layered construction —
 ``from_file`` (TOML/JSON), ``from_env`` (``REPRO_*``), ``from_dict``,
 explicit kwargs — merged with the documented precedence
 ``CLI > kwargs > env > file > defaults``.  The CLI's flags are derived
@@ -35,6 +36,7 @@ from repro.session.config import (
     EngineConfig,
     FieldSpec,
     FleetConfig,
+    ObservabilityConfig,
     SessionConfig,
     TuningConfig,
     add_config_arguments,
@@ -58,6 +60,7 @@ __all__ = [
     "EngineConfig",
     "FieldSpec",
     "FleetConfig",
+    "ObservabilityConfig",
     "RunReport",
     "Session",
     "SessionConfig",

@@ -4,9 +4,10 @@ Three PRs of growth scattered the measurement stack's knobs —
 ``executor=``, ``cache_path=``, ``workers=``, architecture fields,
 tuner options — across ``make_session``, ``StonneBifrostApi``,
 ``TuningTask``, the fleet worker and ~20 CLI flags.
-:class:`SessionConfig` gathers them into five frozen sections
+:class:`SessionConfig` gathers them into six frozen sections
 (:class:`ArchitectureConfig`, :class:`EngineConfig`,
-:class:`CacheConfig`, :class:`FleetConfig`, :class:`TuningConfig`) with
+:class:`CacheConfig`, :class:`FleetConfig`, :class:`TuningConfig`,
+:class:`ObservabilityConfig`) with
 *layered* construction and one documented precedence order::
 
     CLI flags  >  explicit kwargs  >  REPRO_* environment  >  config file  >  defaults
@@ -362,6 +363,34 @@ class TuningConfig:
             )
 
 
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing and metrics (the ``repro.obs`` subsystem)."""
+
+    trace: bool = field(
+        default=False,
+        metadata=_meta(kind="bool",
+                       help="record spans across session/engine/"
+                            "scheduler/cache/fleet and write a Chrome "
+                            "trace-event JSON (chrome://tracing or "
+                            "Perfetto) when the session closes"),
+    )
+    trace_path: Optional[str] = field(
+        default=None,
+        metadata=_meta(key="trace_path", kind="optstr", metavar="FILE",
+                       help="where --trace writes the trace file "
+                            "(default: repro_trace.json)"),
+    )
+    metrics: bool = field(
+        default=False,
+        metadata=_meta(kind="bool",
+                       help="attach a metrics section (per-tier cache "
+                            "hit rates, simulations/sec, chunk-latency "
+                            "histogram, fleet worker health) to run and "
+                            "sweep reports"),
+    )
+
+
 # ----------------------------------------------------------------------
 # coercion (one rule per `kind`, shared by the env, file and CLI layers)
 # ----------------------------------------------------------------------
@@ -456,6 +485,7 @@ _SECTION_TYPES = (
     ("cache", CacheConfig),
     ("fleet", FleetConfig),
     ("tuning", TuningConfig),
+    ("observability", ObservabilityConfig),
 )
 
 
@@ -507,6 +537,9 @@ class SessionConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     fleet: FleetConfig = field(default_factory=FleetConfig)
     tuning: TuningConfig = field(default_factory=TuningConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
 
     # ------------------------------------------------------------------
     # flat view

@@ -30,6 +30,11 @@ class RunReport:
             *scenario-scoped* plan counters (evaluations, plan-time
             cache hits, unique misses, executor); graph runs carry the
             engine's cumulative snapshot.
+        metrics: Observability section (``--metrics``): per-tier cache
+            hit rates, simulations/sec, scheduler latency histogram —
+            see :mod:`repro.obs`.  Empty unless metrics were enabled;
+            omitted from the JSON form when empty, so archives from
+            metrics-less runs are byte-stable.
         outputs: Model output tensors (graph runs only; not serialized).
     """
 
@@ -37,6 +42,7 @@ class RunReport:
     architecture: str
     layer_stats: List[SimulationStats]
     counters: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
     outputs: Optional[List[Any]] = field(default=None, repr=False, compare=False)
 
     @property
@@ -58,7 +64,7 @@ class RunReport:
         return combine_stats(name, self.layer_stats)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": "run",
             "model": self.model,
             "architecture": self.architecture,
@@ -67,6 +73,9 @@ class RunReport:
             "total_cycles": self.total_cycles,
             "total_psums": self.total_psums,
         }
+        if self.metrics:
+            data["metrics"] = dict(self.metrics)
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -80,6 +89,7 @@ class RunReport:
                 SimulationStats.from_dict(s) for s in data.get("layer_stats", [])
             ],
             counters=dict(data.get("counters", {})),
+            metrics=dict(data.get("metrics", {})),
         )
 
     @classmethod

@@ -40,6 +40,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import ReproError, TuningError
+from repro.obs.trace import TRACER
 from repro.session.config import SessionConfig
 from repro.session.reports import CompareReport, RunReport, TuneReport
 
@@ -109,6 +110,17 @@ class Session:
             config = config.with_overrides(**overrides)
         self.config = config
         self.params = params if params is not None else DEFAULT_PARAMS
+
+        # [observability] trace: this session owns the global tracer's
+        # lifecycle only if it was the one to enable it — nested
+        # sessions inside an already-traced program contribute spans
+        # without clearing or closing the outer trace.
+        self._trace_owner = False
+        self._trace_path: Optional[str] = None
+        self._last_metrics: Dict[str, Any] = {}
+        if config.observability.trace and not TRACER.enabled:
+            TRACER.enable()
+            self._trace_owner = True
 
         if simulator_config is not None:
             self.simulator_config = simulator_config
@@ -252,6 +264,32 @@ class Session:
         finally:
             for proc in self._fleet_procs:
                 proc.stop()
+            if self._trace_owner:
+                self._finalize_trace()
+
+    def _finalize_trace(self) -> None:
+        """Write the trace file and release the global tracer."""
+        from repro.obs.trace import write_trace
+
+        path = self.config.observability.trace_path or "repro_trace.json"
+        try:
+            self._trace_path = write_trace(
+                path,
+                TRACER.spans(),
+                metrics=self._last_metrics,
+                meta={
+                    "arch": self.config.architecture.arch,
+                    "executor": self.engine.backend.name,
+                },
+            )
+        finally:
+            TRACER.disable()
+
+    @property
+    def trace_path(self) -> Optional[str]:
+        """Where :meth:`close` wrote the trace file (None until then,
+        and None unless this session enabled tracing)."""
+        return self._trace_path
 
     @property
     def fleet_workers(self) -> List[str]:
@@ -310,26 +348,30 @@ class Session:
           report carries the real output tensors.
         """
         self._check_open()
-        if isinstance(model, str):
-            from repro.sweep import SweepPlan
+        label = model if isinstance(model, str) else type(model).__name__
+        with TRACER.span("session.run", category="session", model=label):
+            if isinstance(model, str):
+                from repro.sweep import SweepPlan
 
-            zoo_layers(model)  # validate the name before planning
-            return self.sweep(
-                SweepPlan.single(self.config, model=model)
-            ).scenarios[0].report
-        if input_batch is None:
-            raise ReproError(
-                "Session.run(model, input_batch) requires an input batch "
-                "for non-zoo models"
+                zoo_layers(model)  # validate the name before planning
+                return self.sweep(
+                    SweepPlan.single(self.config, model=model)
+                ).scenarios[0].report
+            if input_batch is None:
+                raise ReproError(
+                    "Session.run(model, input_batch) requires an input "
+                    "batch for non-zoo models"
+                )
+            import numpy as np
+
+            from repro.frontends.torchlike import from_torchlike
+
+            shape = tuple(np.asarray(input_batch).shape)
+            graph = from_torchlike(model, shape)
+            first_input = graph.nodes[graph.input_ids[0]].name
+            return self.run_graph(
+                graph, {first_input: np.asarray(input_batch)}
             )
-        import numpy as np
-
-        from repro.frontends.torchlike import from_torchlike
-
-        shape = tuple(np.asarray(input_batch).shape)
-        graph = from_torchlike(model, shape)
-        first_input = graph.nodes[graph.input_ids[0]].name
-        return self.run_graph(graph, {first_input: np.asarray(input_batch)})
 
     def run_layers(self, layers) -> List:
         """Simulate bare layer descriptors through the session engine
@@ -411,7 +453,11 @@ class Session:
         plan = SweepPlan.single(
             config, model=model_name, kind="tune", layer=layer, target=target,
         )
-        return self.sweep(plan).scenarios[0].report
+        with TRACER.span(
+            "session.tune", category="session",
+            model=model_name, layer=layer,
+        ):
+            return self.sweep(plan).scenarios[0].report
 
     def compare(self, model: str) -> CompareReport:
         """Default vs AutoTVM vs mRNA mappings for a zoo model's
@@ -421,7 +467,8 @@ class Session:
 
         self._check_open()
         plan = SweepPlan.single(self.config, model=model, kind="compare")
-        return self.sweep(plan).scenarios[0].report
+        with TRACER.span("session.compare", category="session", model=model):
+            return self.sweep(plan).scenarios[0].report
 
     def sweep(self, plan) -> "SweepReport":
         """Execute a :class:`~repro.sweep.SweepPlan` across scenarios.
@@ -442,7 +489,11 @@ class Session:
             raise ReproError(
                 f"Session.sweep expects a SweepPlan, got {type(plan).__name__}"
             )
-        return SweepRunner(self).execute(plan)
+        with TRACER.span(
+            "session.sweep", category="session",
+            scenarios=len(plan.scenarios),
+        ):
+            return SweepRunner(self).execute(plan)
 
     # ------------------------------------------------------------------
     def counters(self) -> Dict[str, Any]:

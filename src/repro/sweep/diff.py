@@ -168,13 +168,51 @@ class ScenarioDelta:
         }
 
 
+def _observability_deltas(before: AnyReport, after: AnyReport) -> Dict[str, Any]:
+    """Informational deltas from the two reports' ``metrics`` sections.
+
+    Present only when *both* archives carry a metrics section
+    (``--metrics`` runs).  Strictly informational: throughput and hit
+    rates depend on the machine, the cache's starting state and the
+    executor, so they never feed ``max_regression``/``is_zero`` — the
+    CI gate stays a pure measurement gate.
+    """
+    before_metrics = getattr(before, "metrics", None) or {}
+    after_metrics = getattr(after, "metrics", None) or {}
+    if not before_metrics or not after_metrics:
+        return {}
+    readers = (
+        ("cache_hit_rate", lambda m: m.get("cache", {}).get("hit_rate")),
+        ("simulations_per_s", lambda m: m.get("simulations_per_s")),
+        ("wall_s", lambda m: m.get("wall_s")),
+    )
+    out: Dict[str, Any] = {}
+    for name, read in readers:
+        b, a = read(before_metrics), read(after_metrics)
+        if isinstance(b, (int, float)) and isinstance(a, (int, float)):
+            out[name] = {
+                "before": float(b),
+                "after": float(a),
+                "delta": float(a) - float(b),
+            }
+    return out
+
+
 @dataclass
 class ReportDiff:
-    """The typed comparison of two archived reports."""
+    """The typed comparison of two archived reports.
+
+    ``observability`` carries informational metrics deltas (cache hit
+    rate, simulations/sec, wall time) when both archives have a
+    ``metrics`` section; it is excluded from ``max_regression`` and
+    ``is_zero`` so environment-dependent throughput can never trip the
+    ``--fail-on-regression`` gate.
+    """
 
     scenarios: List[ScenarioDelta]
     only_before: List[str] = field(default_factory=list)
     only_after: List[str] = field(default_factory=list)
+    observability: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def max_regression(self) -> float:
@@ -195,7 +233,7 @@ class ReportDiff:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": "report_diff",
             "scenarios": [s.to_dict() for s in self.scenarios],
             "only_before": list(self.only_before),
@@ -203,6 +241,9 @@ class ReportDiff:
             "max_regression_percent": self.max_regression,
             "zero": self.is_zero,
         }
+        if self.observability:
+            data["observability"] = dict(self.observability)
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -236,6 +277,29 @@ class ReportDiff:
             lines.append(f"only in before: {name}")
         for name in self.only_after:
             lines.append(f"only in after: {name}")
+        if self.observability:
+            parts = []
+            pair = self.observability.get("cache_hit_rate")
+            if pair:
+                parts.append(
+                    f"cache hit rate {pair['before']:.1%} -> "
+                    f"{pair['after']:.1%}"
+                )
+            pair = self.observability.get("simulations_per_s")
+            if pair:
+                parts.append(
+                    f"{pair['before']:,.0f} -> {pair['after']:,.0f} "
+                    f"simulations/s"
+                )
+            pair = self.observability.get("wall_s")
+            if pair:
+                parts.append(
+                    f"wall {pair['before']:.2f}s -> {pair['after']:.2f}s"
+                )
+            if parts:
+                lines.append(
+                    "observability (informational): " + ", ".join(parts)
+                )
         if self.is_zero:
             lines.append("no differences")
         else:
@@ -287,4 +351,5 @@ def diff_reports(
             name for key, (name, _) in after_scenarios.items()
             if key not in before_scenarios
         ],
+        observability=_observability_deltas(before, after),
     )

@@ -108,10 +108,16 @@ class SweepReport:
             ``num_evaluations``, ``num_simulations`` (the dedup proof),
             ``cache_hits``/``cache_misses`` across every engine the
             sweep touched.
+        metrics: Observability section (``--metrics``): wall time,
+            simulations/sec, per-tier cache hit rates, scheduler
+            chunk-latency histogram, fleet worker health.  Empty unless
+            metrics were enabled; omitted from the JSON form when
+            empty, so metrics-less archives stay byte-stable.
     """
 
     scenarios: List[ScenarioResult]
     counters: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -177,7 +183,11 @@ class SweepReport:
             if predicate is not None and not predicate(scenario):
                 continue
             kept.append(scenario)
-        return SweepReport(scenarios=kept, counters=dict(self.counters))
+        return SweepReport(
+            scenarios=kept,
+            counters=dict(self.counters),
+            metrics=dict(self.metrics),
+        )
 
     # ------------------------------------------------------------------
     def summary(self, metric: str = "total_cycles") -> str:
@@ -217,11 +227,14 @@ class SweepReport:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "kind": "sweep",
             "scenarios": [scenario.to_dict() for scenario in self.scenarios],
             "counters": dict(self.counters),
         }
+        if self.metrics:
+            data["metrics"] = dict(self.metrics)
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -234,6 +247,7 @@ class SweepReport:
                 for entry in data.get("scenarios", [])
             ],
             counters=dict(data.get("counters", {})),
+            metrics=dict(data.get("metrics", {})),
         )
 
     @classmethod

@@ -28,9 +28,11 @@ path to maintain.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import TuningError
+from repro.obs.trace import TRACER
 from repro.session.reports import CompareReport, RunReport, TuneReport
 from repro.sweep.plan import Scenario, SweepPlan
 from repro.sweep.report import ScenarioResult, SweepReport
@@ -134,9 +136,17 @@ class SweepRunner:
     # ------------------------------------------------------------------
     def execute(self, plan: SweepPlan) -> SweepReport:
         """Run every scenario, batching run-kind evaluations per engine."""
+        with TRACER.span(
+            "sweep.execute", category="sweep", scenarios=len(plan.scenarios)
+        ):
+            return self._execute(plan)
+
+    def _execute(self, plan: SweepPlan) -> SweepReport:
         from repro.engine import EvalRequest
         from repro.session.session import zoo_layers
 
+        started = time.perf_counter()
+        tier_baseline = self._tier_counters()
         baseline = {
             id(engine): {k: getattr(engine, k) for k in _ENGINE_COUNTERS}
             for engine in self._engines.values()
@@ -162,7 +172,10 @@ class SweepRunner:
                         else None
                     )
                     requests.append(EvalRequest(layer=layer, mapping=mapping))
-                batch_plan = engine.plan_many(requests)
+                with TRACER.span(
+                    "sweep.plan", category="sweep", scenario=scenario.name
+                ):
+                    batch_plan = engine.plan_many(requests)
                 engine_id = id(engine)
                 if engine_id not in batches:
                     batches[engine_id] = (engine, [])
@@ -223,7 +236,75 @@ class SweepRunner:
                 getattr(cache, key.split("_", 1)[1]) - cache_baseline[key]
             )
         counters["scheduler"] = dict(scheduler_report)
-        return SweepReport(scenarios=results, counters=counters)
+
+        obs = self.session.config.observability
+        metrics: Dict[str, Any] = {}
+        if obs.metrics or obs.trace:
+            # Built for either flag: --metrics attaches it to the
+            # reports, --trace embeds it in the trace document (so the
+            # summary's hit-rate lines work without --metrics).
+            built = self._build_metrics(
+                counters,
+                wall_s=time.perf_counter() - started,
+                tier_baseline=tier_baseline,
+            )
+            self.session._last_metrics = dict(built)
+            if obs.metrics:
+                metrics = built
+                for result in results:
+                    if result.kind == "run":
+                        result.report.metrics = dict(metrics)
+        return SweepReport(
+            scenarios=results, counters=counters, metrics=metrics
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _tier_counters(self) -> Dict[str, int]:
+        """The shared cache's per-tier counters (zeros for duck caches)."""
+        tiers = getattr(self.session.engine.cache, "tier_counters", None)
+        return dict(tiers()) if callable(tiers) else {}
+
+    def _build_metrics(
+        self,
+        counters: Dict[str, Any],
+        wall_s: float,
+        tier_baseline: Dict[str, int],
+    ) -> Dict[str, Any]:
+        """The report's ``metrics`` section for this sweep.
+
+        Everything here is a *sweep-scoped delta* except the backend
+        snapshot, which is cumulative over the backend's lifetime (a
+        shared pool may have served earlier sweeps of the same session).
+        """
+        sims = counters.get("num_simulations", 0)
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        lookups = hits + misses
+        tiers_now = self._tier_counters()
+        tier_delta = {
+            key: value - tier_baseline.get(key, 0)
+            for key, value in tiers_now.items()
+        }
+        metrics: Dict[str, Any] = {
+            "wall_s": wall_s,
+            "evaluations": counters.get("num_evaluations", 0),
+            "simulations": sims,
+            "simulations_per_s": sims / wall_s if wall_s > 0 else 0.0,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
+                "tiers": tier_delta,
+            },
+            "scheduler": dict(counters.get("scheduler", {})),
+        }
+        backend = self.session.engine.backend
+        registry = getattr(backend, "metrics", None)
+        if registry is not None and hasattr(registry, "snapshot"):
+            metrics["backend"] = registry.snapshot()
+        return metrics
 
     # ------------------------------------------------------------------
     # scenario kinds beyond plain runs
