@@ -1,0 +1,99 @@
+"""Talking to a resident sweep service: submit, watch, diff, resume.
+
+``repro serve`` turns the sweep machinery into a daemon: one long-lived
+:class:`~repro.session.Session` (one warm cache) serving many clients.
+This example embeds the service in-process — the wire protocol and the
+job lifecycle are identical to a real ``repro serve`` daemon on another
+machine; only the transport endpoint differs:
+
+1. start a :class:`~repro.serve.SweepService` on an ephemeral port;
+2. submit two *overlapping* matrices from two independent
+   :class:`~repro.serve.ServeClient` connections — the service runs
+   jobs sequentially against its one session, so the second job's
+   overlap is served from the shared cache (``num_simulations`` tells
+   the story);
+3. watch a job's scenario-level progress stream;
+4. diff the two archived reports — overlapping cells are bit-identical
+   because the cache is an execution detail, never an approximation;
+5. resume a wider matrix from the first job's archive: config-hash
+   matched scenarios are adopted, only the missing ones run.
+
+Run:  python examples/serve_client.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.serve import ServeClient, SweepService
+from repro.session import SessionConfig
+from repro.sweep import SweepPlan, diff_reports
+
+archive_dir = Path(tempfile.mkdtemp(prefix="serve_client_")) / "archive"
+
+# 1. The daemon: what `repro serve --listen 127.0.0.1:9462` runs. -------
+service = SweepService(
+    ("127.0.0.1", 0),
+    config=SessionConfig(),
+    archive_dir=str(archive_dir),
+)
+threading.Thread(target=service.serve_forever, daemon=True).start()
+print(f"sweep service on {service.address} (archive: {archive_dir})")
+
+base = SessionConfig()
+narrow = SweepPlan.matrix(base, models=["mlp"], axes={"ms_size": [64, 128]})
+wide = SweepPlan.matrix(
+    base, models=["mlp", "lenet"], axes={"ms_size": [64, 128]}
+)
+
+try:
+    # 2. Two clients, overlapping plans, one shared cache. --------------
+    with ServeClient(service.address) as one, ServeClient(
+        service.address
+    ) as two:
+        first = one.submit(narrow, label="narrow")
+        second = two.submit(wide, label="wide")
+        print(f"submitted {first['id']} (narrow) and {second['id']} (wide)")
+
+        # 3. Stream the wide job's progress (scenario-level events). ----
+        def show(event):
+            kind = event.get("event", "?")
+            name = event.get("name", "")
+            print(f"  {kind}: {name} "
+                  f"[{event.get('completed', 0)}/{event.get('total', 0)}]")
+
+        final = two.watch(second["id"], callback=show)
+        print(f"wide job landed: {final['state']}")
+
+        one.wait(first["id"], timeout=300)
+        narrow_report = one.result(first["id"])
+        wide_report = two.result(second["id"])
+
+    sims = (narrow_report.counters["num_simulations"],
+            wide_report.counters["num_simulations"])
+    print(f"num_simulations: narrow={sims[0]}, wide={sims[1]}")
+
+    # 4. The overlap (the mlp column) is bit-identical across jobs. -----
+    overlap = wide_report.filter(model="mlp")
+    diff = diff_reports(narrow_report, overlap)
+    assert diff.is_zero, diff.summary()
+    print("overlapping cells bit-identical across jobs (diff is zero)")
+
+    # 5. Resume: the wide archive covers half of a wider matrix. --------
+    wider = SweepPlan.matrix(
+        base, models=["mlp", "lenet"], axes={"ms_size": [64, 128, 256]}
+    )
+    with ServeClient(service.address) as client:
+        job = client.submit(wider, resume=wide_report, label="resumed")
+        client.wait(job["id"], timeout=300)
+        resumed_report = client.result(job["id"])
+    print(f"resumed job: {resumed_report.counters['resumed_scenarios']} of "
+          f"{len(resumed_report)} scenarios adopted from the archive")
+    assert resumed_report.counters["resumed_scenarios"] == len(wide_report)
+
+    # Every archive on disk feeds `repro report diff` directly.
+    archives = sorted(p.name for p in archive_dir.glob("*.json"))
+    print(f"archives: {', '.join(archives)}")
+finally:
+    service.close()
+print("service closed (cache tiers flushed, session released)")

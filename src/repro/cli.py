@@ -29,6 +29,12 @@ Subcommands:
   working ``--config`` file);
 * ``worker`` — a fleet worker daemon serving simulation batches over
   TCP (its cache settings come from the same config sections);
+* ``serve`` — the resident sweep service: one daemon-owned session
+  (shared cache + fleet) running submitted scenario matrices as jobs;
+* ``submit`` / ``jobs`` / ``status`` / ``result`` / ``cancel`` — the
+  service's client verbs: submit a matrix (optionally ``--resume``
+  from an archived report, optionally ``--watch`` progress), list the
+  queue, poll one job, fetch or cancel it;
 * ``trace`` — inspect trace files recorded with ``--trace``
   (``summary`` for the self-time/hit-rate table, ``export`` for a
   plain Chrome trace-event file);
@@ -183,12 +189,12 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    """Execute a scenario matrix: models × profiles × axis overrides."""
-    from repro.session import Session, config_from_args, load_profiles
+def _build_matrix_plan(args, config):
+    """The SweepPlan for --models/--profiles/--axis flags, or an exit
+    code on malformed flags (shared by ``sweep`` and ``submit``)."""
+    from repro.session import load_profiles
     from repro.sweep import SweepPlan
 
-    config = config_from_args(args)
     models = [m.strip() for m in args.models.split(",") if m.strip()]
     profiles = None
     if args.profiles:
@@ -218,12 +224,46 @@ def _cmd_sweep(args) -> int:
                   f"one flag ({key}=V1,V2,...)", file=sys.stderr)
             return 2
         axes[key] = [v.strip() for v in values.split(",") if v.strip()]
-    plan = SweepPlan.matrix(config, models=models, profiles=profiles,
+    return SweepPlan.matrix(config, models=models, profiles=profiles,
                             axes=axes or None)
+
+
+def _load_resume(path):
+    """An archived SweepReport for --resume, or an exit code."""
+    from repro.sweep import SweepReport
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            import json
+
+            return SweepReport.from_dict(json.load(handle))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot load resume archive {path!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
+def _cmd_sweep(args) -> int:
+    """Execute a scenario matrix: models × profiles × axis overrides."""
+    from repro.session import Session, config_from_args
+
+    config = config_from_args(args)
+    plan = _build_matrix_plan(args, config)
+    if isinstance(plan, int):
+        return plan
+    resume = None
+    if args.resume:
+        resume = _load_resume(args.resume)
+        if isinstance(resume, int):
+            return resume
     with Session(config) as session:
         _print_corrections(session)
-        report = session.sweep(plan)
+        report = session.sweep(plan, resume=resume)
         print(report.summary(metric=args.metric))
+        resumed = report.counters.get("resumed_scenarios")
+        if resumed:
+            print(f"resume: {resumed} of {len(report.scenarios)} scenarios "
+                  f"adopted from {args.resume} (config-hash matched)")
         if args.report_json:
             from pathlib import Path
 
@@ -303,7 +343,125 @@ def _cmd_worker(args) -> int:
         cache_max_rows=config.cache.max_rows,
         quiet=args.quiet,
         capacity=config.fleet.capacity,
+        secret=config.fleet.secret,
     )
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import serve
+    from repro.session import config_from_args
+
+    config = config_from_args(args)
+    return serve(
+        args.listen,
+        config=config,
+        archive_dir=args.archive_dir,
+        quiet=args.quiet,
+    )
+
+
+def _client_secret(args=None, config=None):
+    """The shared secret a client command should present: the resolved
+    config when the command carries config flags, else the environment
+    (the same REPRO_FLEET_SECRET the config layer reads)."""
+    import os
+
+    if config is not None and config.fleet.secret:
+        return config.fleet.secret
+    return os.environ.get("REPRO_FLEET_SECRET") or None
+
+
+def _job_line(job) -> str:
+    state = job.get("state", "?")
+    done = job.get("completed", 0)
+    total = job.get("scenarios", 0)
+    label = f"  [{job['label']}]" if job.get("label") else ""
+    error = f"  ({job['error']})" if job.get("error") else ""
+    return (f"{job.get('id', '?'):<10} {state:<10} "
+            f"{done}/{total} scenarios{label}{error}")
+
+
+def _cmd_submit(args) -> int:
+    """Submit a scenario matrix to a resident sweep service."""
+    from repro.serve import ServeClient
+    from repro.session import config_from_args
+
+    if args.plan is not None:
+        # `repro submit plan.toml` — the positional is the config file.
+        args.config = args.plan
+    config = config_from_args(args)
+    plan = _build_matrix_plan(args, config)
+    if isinstance(plan, int):
+        return plan
+    resume = None
+    if args.resume:
+        resume = _load_resume(args.resume)
+        if isinstance(resume, int):
+            return resume
+    with ServeClient(
+        args.connect, secret=_client_secret(args, config)
+    ) as client:
+        job = client.submit(plan, resume=resume, label=args.label)
+        print(f"submitted {job['id']}: {len(plan.scenarios)} scenarios, "
+              f"state {job['state']}")
+        if not args.watch:
+            return 0
+        final = client.watch(
+            job["id"],
+            callback=lambda event: print(
+                f"  {event.get('event', '?')}: "
+                f"{event.get('name', '')} "
+                f"[{event.get('completed', 0)}/{event.get('total', 0)}]"
+                .rstrip()
+            ),
+        )
+        print(_job_line(final))
+        return 0 if final.get("state") == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(args.connect, secret=_client_secret()) as client:
+        jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(_job_line(job))
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(args.connect, secret=_client_secret()) as client:
+        print(_job_line(client.status(args.job)))
+    return 0
+
+
+def _cmd_result(args) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(args.connect, secret=_client_secret()) as client:
+        report = client.result(args.job)
+    if args.report_json:
+        from pathlib import Path
+
+        Path(args.report_json).write_text(report.to_json() + "\n")
+        print(f"sweep report written to {args.report_json}")
+    else:
+        print(report.summary(metric=args.metric))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(args.connect, secret=_client_secret()) as client:
+        job = client.cancel(args.job)
+    print(_job_line(job))
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -403,6 +561,32 @@ distributed sweeps:
   with --cache-max-rows); compact long-lived JSONL spills with:
   repro cache compact PATH
 
+sweep service:
+  For the many-users-one-substrate traffic model, run one resident
+  daemon owning the shared cache and fleet, and submit matrices to it
+  instead of running them locally:
+      repro serve --listen 0.0.0.0:9462 --cache-path shared.sqlite \\
+          --archive-dir archive/
+      repro submit plan.toml --models alexnet,lenet \\
+          --axis architecture.ms_size=64,128 --watch
+      repro jobs                       # queue in submission order
+      repro status job-0001            # one job's state/progress
+      repro result job-0001 --report-json mine.json
+      repro cancel job-0002            # stops at the next scenario
+  Jobs run one at a time against the daemon's single session; clients
+  overlap through the shared stats cache, so a scenario any earlier job
+  simulated is a cache hit for every later one — results stay
+  bit-identical to `repro sweep` run locally.  Finished (and cancelled)
+  reports land in --archive-dir as plain SweepReport JSON: diff them
+  with `repro report diff`, or resubmit with --resume ARCHIVED.json
+  (also on plain `repro sweep`) to re-run only scenarios whose
+  resolved-config hash is absent from the archive.  Set fleet.secret /
+  REPRO_FLEET_SECRET on daemons and clients to require a shared-secret
+  handshake on every connection (workers honour the same knob).
+  SIGTERM/SIGINT shut daemons down gracefully: in-flight work drains,
+  a running job's partial report is archived resumable, caches close,
+  exit 0.
+
 saturation scheduling:
   Multi-scenario batches drain through one pull-based work queue: each
   executor slot (thread, process, or fleet capacity unit) pulls the
@@ -494,6 +678,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-json", dest="report_json", metavar="FILE",
         help="also write the structured SweepReport as JSON "
              "(diffable via: repro report diff)")
+    sweep.add_argument(
+        "--resume", metavar="ARCHIVED.json",
+        help="skip scenarios whose resolved-config hash matches this "
+             "archived SweepReport (interrupted matrices pick up where "
+             "they left off)")
 
     config = sub.add_parser(
         "config",
@@ -522,6 +711,95 @@ def build_parser() -> argparse.ArgumentParser:
     add_config_arguments(worker)
     worker.add_argument(
         "--quiet", action="store_true", help="suppress the startup banner")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident sweep service: one shared session, a job "
+             "queue, and a report archive served to many clients",
+    )
+    serve.add_argument(
+        "--listen", default="127.0.0.1:9462", metavar="HOST:PORT",
+        help="address to bind (default 127.0.0.1:9462; port 0 picks a "
+             "free port)")
+    add_config_arguments(serve)
+    serve.add_argument(
+        "--archive-dir", dest="archive_dir", metavar="DIR",
+        default="serve-archive",
+        help="directory for finished-job SweepReport JSON (default "
+             "serve-archive/; files feed repro report diff and --resume)")
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress the startup banner")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a scenario matrix to a running sweep service",
+    )
+    submit.add_argument(
+        "plan", nargs="?", metavar="PLAN.toml",
+        help="config file describing the base config (and profiles) of "
+             "the matrix; equivalent to --config PLAN.toml")
+    submit.add_argument(
+        "--models", required=True, metavar="M1,M2,...",
+        help=f"comma-separated zoo models ({', '.join(MODELS)})")
+    add_config_arguments(submit)
+    submit.add_argument(
+        "--profiles", metavar="P1,P2,...",
+        help="config profiles from the plan file to expand over")
+    submit.add_argument(
+        "--axis", action="append", metavar="KEY=V1,V2,...",
+        help="sweep a config knob over values (repeatable)")
+    submit.add_argument(
+        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
+        help="sweep service address (default 127.0.0.1:9462)")
+    submit.add_argument(
+        "--resume", metavar="ARCHIVED.json",
+        help="archived SweepReport; the service skips config-hash-matched "
+             "scenarios and folds the archived results into the job")
+    submit.add_argument(
+        "--label", metavar="TEXT", help="free-form job label")
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream scenario-level progress until the job lands "
+             "(exit 0 only if it lands done)")
+
+    jobs = sub.add_parser(
+        "jobs", help="list a sweep service's jobs in submission order"
+    )
+    jobs.add_argument(
+        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
+        help="sweep service address (default 127.0.0.1:9462)")
+
+    status = sub.add_parser("status", help="one job's current state")
+    status.add_argument("job", help="job id (repro jobs)")
+    status.add_argument(
+        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
+        help="sweep service address (default 127.0.0.1:9462)")
+
+    result = sub.add_parser(
+        "result",
+        help="fetch a finished job's archived SweepReport",
+    )
+    result.add_argument("job", help="job id (repro jobs)")
+    result.add_argument(
+        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
+        help="sweep service address (default 127.0.0.1:9462)")
+    result.add_argument(
+        "--metric", default="total_cycles",
+        help="summary-table metric (default total_cycles)")
+    result.add_argument(
+        "--report-json", dest="report_json", metavar="FILE",
+        help="write the report JSON instead of printing the summary "
+             "(diffable via repro report diff, resumable via --resume)")
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a queued or running job (running jobs stop at the "
+             "next scenario boundary; the partial report stays resumable)",
+    )
+    cancel.add_argument("job", help="job id (repro jobs)")
+    cancel.add_argument(
+        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
+        help="sweep service address (default 127.0.0.1:9462)")
 
     report = sub.add_parser(
         "report", help="work with archived report JSON files"
@@ -600,6 +878,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "config": _cmd_config,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "status": _cmd_status,
+        "result": _cmd_result,
+        "cancel": _cmd_cancel,
         "trace": _cmd_trace,
         "cache": _cmd_cache,
     }

@@ -56,3 +56,23 @@ class SimulationError(ReproError):
 
 class FleetError(ReproError):
     """A fleet worker daemon could not be started or managed."""
+
+
+class ServeError(ReproError):
+    """A sweep-service request failed (unknown job, refused submission,
+    unreachable daemon...)."""
+
+
+class SweepCancelled(ReproError):
+    """A sweep was cancelled between scenarios.
+
+    Raised out of :meth:`repro.session.Session.sweep` when a progress
+    callback requests cancellation.  ``partial`` carries a
+    :class:`~repro.sweep.SweepReport` of the scenarios that completed
+    before the cancellation point (possibly empty) — archiving it makes
+    the interrupted sweep resumable via ``--resume``.
+    """
+
+    def __init__(self, message: str = "sweep cancelled", partial=None) -> None:
+        super().__init__(message)
+        self.partial = partial

@@ -21,6 +21,21 @@ Message vocabulary (the ``type`` field):
 * ``ping``/``pong`` — heartbeat;
 * ``bye`` — polite client disconnect.
 
+The sweep service (:mod:`repro.serve`) speaks the same framing with its
+own vocabulary: ``submit_sweep`` (a serialized
+:class:`~repro.sweep.SweepPlan`, optionally with a resume archive),
+``job_list``/``job_status``/``job_result``/``job_cancel``/``job_watch``
+requests, ``job``/``jobs``/``job_result`` replies, and streamed
+``progress`` events while a watch is active.
+
+Both daemons support opt-in shared-secret authentication: a secured
+peer's ``hello`` carries an ``auth`` challenge (scheme + random nonce)
+and the first client message must be an ``auth`` frame whose digest is
+``HMAC-SHA256(secret, nonce)`` — the secret itself never crosses the
+wire.  A missing or wrong digest is answered with an ``error`` frame
+and the connection is dropped before any state changes; clients raise
+:class:`ProtocolError`.
+
 Everything that crosses the wire is *structural*: layers and mappings
 are dataclasses of plain scalars, cache keys are tuples of scalars
 (JSON arrays on the wire, frozen back to tuples on arrival — the same
@@ -32,7 +47,10 @@ verified on the worker side.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
+import secrets
 import socket
 import struct
 from dataclasses import asdict
@@ -252,22 +270,66 @@ def rebuild_controller(spec: Dict[str, Any]):
 
 
 # ----------------------------------------------------------------------
+# shared-secret authentication
+# ----------------------------------------------------------------------
+#: The only auth scheme the protocol speaks today (TLS is the follow-on).
+AUTH_SCHEME = "hmac-sha256"
+
+
+def make_nonce() -> str:
+    """A fresh per-connection challenge nonce."""
+    return secrets.token_hex(16)
+
+
+def auth_digest(secret: str, nonce: str) -> str:
+    """``HMAC-SHA256(secret, nonce)`` — what an ``auth`` frame carries.
+
+    The secret never crosses the wire; a passive observer of one
+    handshake cannot replay it against a different nonce.
+    """
+    return hmac.new(
+        secret.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+
+
+def auth_message(secret: str, nonce: str) -> Dict[str, Any]:
+    """The client's answer to a hello's ``auth`` challenge."""
+    return {"type": "auth", "digest": auth_digest(secret, nonce)}
+
+
+def verify_auth(secret: str, nonce: str, message: Dict[str, Any]) -> bool:
+    """Constant-time check of an ``auth`` frame against the challenge."""
+    digest = message.get("digest")
+    if message.get("type") != "auth" or not isinstance(digest, str):
+        return False
+    return hmac.compare_digest(digest, auth_digest(secret, nonce))
+
+
+# ----------------------------------------------------------------------
 # message builders
 # ----------------------------------------------------------------------
 def hello_message(
-    capabilities: List[str], pid: int, capacity: int = 1
+    capabilities: List[str],
+    pid: int,
+    capacity: int = 1,
+    nonce: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The worker's greeting.  ``capacity`` is its advertised weight —
     how many concurrent shard units the operator sized it for — which
     the remote backend uses to seed proportional shard sizes; absent
-    (older workers) it defaults to 1 on the client side."""
-    return {
+    (older workers) it defaults to 1 on the client side.  ``nonce``
+    (secured daemons only) attaches the shared-secret auth challenge
+    the client must answer before anything else."""
+    message = {
         "type": "hello",
         "version": PROTOCOL_VERSION,
         "pid": pid,
         "capabilities": sorted(capabilities),
         "capacity": int(capacity),
     }
+    if nonce is not None:
+        message["auth"] = {"scheme": AUTH_SCHEME, "nonce": nonce}
+    return message
 
 
 def evaluate_batch_message(
@@ -313,6 +375,118 @@ def error_message(error: Exception) -> Dict[str, Any]:
         "error": str(error),
         "error_type": type(error).__name__,
     }
+
+
+# ----------------------------------------------------------------------
+# sweep-service vocabulary (repro.serve)
+# ----------------------------------------------------------------------
+def plan_to_wire(plan) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.sweep.SweepPlan` for submission.
+
+    Everything a scenario carries is structural (resolved config dict,
+    zoo model name, kind, labels) *except* ``target`` — a bare in-memory
+    layer descriptor standing in for (model, layer) — which cannot be
+    archived or resubmitted and therefore cannot cross the wire.
+    """
+    scenarios = []
+    for scenario in plan.scenarios:
+        if scenario.target is not None:
+            raise ProtocolError(
+                f"scenario {scenario.name!r} carries a bare layer target; "
+                f"only zoo-model scenarios can be submitted to a sweep "
+                f"service"
+            )
+        scenarios.append(
+            {
+                "name": scenario.name,
+                "config": scenario.config.to_dict(),
+                "model": scenario.model,
+                "kind": scenario.kind,
+                "layer": scenario.layer,
+                "profile": scenario.profile,
+                "overrides": [
+                    [key, value] for key, value in scenario.overrides
+                ],
+            }
+        )
+    return {"scenarios": scenarios}
+
+
+def plan_from_wire(data: Dict[str, Any]):
+    """Rebuild a validated :class:`~repro.sweep.SweepPlan` from its wire
+    form (bad configs, kinds or models raise :class:`ProtocolError`)."""
+    from repro.session.config import SessionConfig
+    from repro.sweep.plan import Scenario, SweepPlan
+
+    try:
+        scenarios = tuple(
+            Scenario(
+                name=entry["name"],
+                config=SessionConfig.from_dict(entry["config"]),
+                model=entry.get("model"),
+                kind=entry.get("kind", "run"),
+                layer=entry.get("layer"),
+                profile=entry.get("profile"),
+                overrides=tuple(
+                    (key, value)
+                    for key, value in entry.get("overrides", [])
+                ),
+            )
+            for entry in data.get("scenarios", [])
+        )
+        return SweepPlan(scenarios=scenarios)
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise ProtocolError(f"malformed wire sweep plan: {exc}") from exc
+
+
+def submit_message(
+    plan_wire: Dict[str, Any],
+    resume: Optional[Dict[str, Any]] = None,
+    label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """A ``submit_sweep`` request.  ``resume`` is an archived
+    SweepReport dict — the service skips scenarios whose resolved-config
+    hash matches it and folds the archived results into the job's
+    report."""
+    message: Dict[str, Any] = {
+        "type": "submit_sweep",
+        "version": PROTOCOL_VERSION,
+        "plan": plan_wire,
+    }
+    if resume is not None:
+        message["resume"] = resume
+    if label is not None:
+        message["label"] = label
+    return message
+
+
+def job_request_message(kind: str, job_id: str) -> Dict[str, Any]:
+    """One of the per-job requests: ``job_status`` / ``job_result`` /
+    ``job_cancel`` / ``job_watch``."""
+    return {"type": kind, "id": job_id}
+
+
+def job_message(job: Dict[str, Any]) -> Dict[str, Any]:
+    """The service's reply describing one job's current state."""
+    return {"type": "job", "job": job}
+
+
+def jobs_message(jobs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The ``job_list`` reply: every job the service knows, in
+    submission order."""
+    return {"type": "jobs", "jobs": jobs}
+
+
+def job_result_message(
+    job: Dict[str, Any], report: Dict[str, Any]
+) -> Dict[str, Any]:
+    """A finished job's archived report (the ``job_result`` reply)."""
+    return {"type": "job_result", "job": job, "report": report}
+
+
+def progress_message(job_id: str, event: Dict[str, Any]) -> Dict[str, Any]:
+    """One streamed scenario-level progress event for a watched job."""
+    return {"type": "progress", "id": job_id, "event": event}
 
 
 def exception_from_wire(entry: Dict[str, Any]) -> Exception:

@@ -75,10 +75,16 @@ class _WorkerLink:
     at a time (the per-link lock covers retries landing on a survivor
     that is mid-shard)."""
 
-    def __init__(self, address: str, timeout: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        address: str,
+        timeout: Optional[float] = None,
+        secret: Optional[str] = None,
+    ) -> None:
         self.address = address
         self.host, self.port = parse_address(address)
         self.timeout = timeout if timeout is not None else BATCH_TIMEOUT_S
+        self.secret = secret or None
         self.lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
         self.hello: Optional[dict] = None
@@ -103,9 +109,43 @@ class _WorkerLink:
                     f"{hello.get('version')}, client speaks "
                     f"{protocol.PROTOCOL_VERSION}"
                 )
+            try:
+                self._authenticate(sock, hello)
+            except protocol.ProtocolError:
+                sock.close()
+                raise
             self.hello = hello
             self._sock = sock
         return self._sock
+
+    def _authenticate(self, sock: socket.socket, hello: dict) -> None:
+        """Answer the hello's HMAC challenge, if it carries one.
+
+        An unsecured worker (no challenge) is always accepted — the
+        secret is opt-in per daemon.  A secured worker with no local
+        secret, or one that rejects the digest, raises
+        :class:`~repro.fleet.protocol.ProtocolError` before the link is
+        considered connected.
+        """
+        challenge = hello.get("auth")
+        if not isinstance(challenge, dict):
+            return
+        nonce = challenge.get("nonce")
+        if not isinstance(nonce, str):
+            return
+        if not self.secret:
+            raise protocol.ProtocolError(
+                f"worker {self.address} requires a shared secret; set "
+                f"fleet.secret (or REPRO_FLEET_SECRET)"
+            )
+        protocol.send_message(
+            sock, protocol.auth_message(self.secret, nonce)
+        )
+        answer = protocol.recv_message(sock)
+        if not answer or answer.get("type") != "auth_ok":
+            raise protocol.ProtocolError(
+                f"worker {self.address} rejected the shared secret"
+            )
 
     def ensure_connected(self) -> Optional[dict]:
         """Connect (if needed) and return the worker's hello, or None
@@ -190,12 +230,14 @@ class RemoteBackend(ExecutorBackend):
         workers: Union[Sequence[str], str, None] = None,
         max_workers: Optional[int] = None,
         shard_timeout: Optional[float] = None,
+        secret: Optional[str] = None,
     ) -> None:
         if isinstance(workers, str):
             workers = [part.strip() for part in workers.split(",") if part.strip()]
         self._configured = list(workers) if workers else None
         self.max_workers = max_workers
         self.shard_timeout = shard_timeout
+        self.secret = secret or None
         self._links: Dict[str, _WorkerLink] = {}
         self._links_lock = threading.Lock()
         #: Batches (shards) that fell back to inline serial execution.
@@ -211,7 +253,9 @@ class RemoteBackend(ExecutorBackend):
         with self._links_lock:
             link = self._links.get(address)
             if link is None:
-                link = _WorkerLink(address, timeout=self.shard_timeout)
+                link = _WorkerLink(
+                    address, timeout=self.shard_timeout, secret=self.secret
+                )
                 self._links[address] = link
             return link
 
@@ -482,6 +526,7 @@ def resolve_executor(
     workers: Union[Sequence[str], str, None] = None,
     max_workers: Optional[int] = None,
     shard_timeout: Optional[float] = None,
+    secret: Optional[str] = None,
 ):
     """The executor an engine should use given an optional fleet.
 
@@ -495,6 +540,7 @@ def resolve_executor(
             workers=workers,
             max_workers=max_workers,
             shard_timeout=shard_timeout,
+            secret=secret,
         )
     return executor
 

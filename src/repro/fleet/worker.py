@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import re
+import signal
 import socket
 import socketserver
 import subprocess
@@ -66,14 +67,40 @@ class _FleetRequestHandler(socketserver.BaseRequestHandler):
 
     def handle(self) -> None:
         server: FleetWorker = self.server  # type: ignore[assignment]
+        nonce = protocol.make_nonce() if server.secret else None
         protocol.send_message(
             self.request,
             protocol.hello_message(
                 registered_controller_types(),
                 os.getpid(),
                 capacity=server.capacity,
+                nonce=nonce,
             ),
         )
+        if server.secret:
+            # Challenge-response before anything else: no controller is
+            # rebuilt, no cache row touched, until the digest verifies.
+            try:
+                answer = protocol.recv_message(self.request)
+            except (protocol.ProtocolError, OSError):
+                return
+            if answer is None or not protocol.verify_auth(
+                server.secret, nonce, answer
+            ):
+                try:
+                    protocol.send_message(
+                        self.request,
+                        protocol.error_message(
+                            protocol.ProtocolError(
+                                "authentication failed: bad or missing "
+                                "shared secret"
+                            )
+                        ),
+                    )
+                except (protocol.ProtocolError, OSError):
+                    pass
+                return
+            protocol.send_message(self.request, {"type": "auth_ok"})
         while True:
             try:
                 message = protocol.recv_message(self.request)
@@ -108,6 +135,11 @@ class FleetWorker(socketserver.ThreadingTCPServer):
             The remote backend sizes this worker's shards — and its
             pull-scheduler slot count — proportionally.  Purely a
             weight: simulation still serializes on the controller lock.
+        secret: Opt-in shared secret.  When set, the hello carries an
+            HMAC challenge and every connection must answer it before
+            its first request; a bad or missing digest is rejected with
+            an error frame and the connection dropped, with no worker
+            state touched.
     """
 
     allow_reuse_address = True
@@ -118,16 +150,22 @@ class FleetWorker(socketserver.ThreadingTCPServer):
         address: Tuple[str, int] = ("127.0.0.1", 0),
         cache: Optional[StatsCache] = None,
         capacity: int = 1,
+        secret: Optional[str] = None,
     ) -> None:
         super().__init__(address, _FleetRequestHandler)
         self.cache = cache
         self.capacity = max(1, int(capacity))
+        self.secret = secret or None
         self.batches_served = 0
         self.items_served = 0
         #: Rebuilt controllers keyed by engine fingerprint, with the
         #: functional flag they were shipped with.
         self._controllers: Dict[str, Tuple[object, bool]] = {}
         self._controller_lock = threading.Lock()
+        #: In-flight batch bookkeeping for graceful shutdown: close()
+        #: waits until every started batch has produced its response.
+        self._active_batches = 0
+        self._drain = threading.Condition()
 
     # ------------------------------------------------------------------
     @property
@@ -160,6 +198,16 @@ class FleetWorker(socketserver.ThreadingTCPServer):
         mapping must not poison a shard, mirroring the executor-backend
         contract.  Only a spec that cannot be rebuilt fails the batch.
         """
+        with self._drain:
+            self._active_batches += 1
+        try:
+            return self._execute_batch(message)
+        finally:
+            with self._drain:
+                self._active_batches -= 1
+                self._drain.notify_all()
+
+    def _execute_batch(self, message) -> Dict:
         started = time.perf_counter()
         try:
             controller, functional = self._controller_for(message.get("spec", {}))
@@ -222,9 +270,22 @@ class FleetWorker(socketserver.ThreadingTCPServer):
         }
         return protocol.results_message(entries, timing=timing)
 
-    def close(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+    def close(self, drain_timeout: float = 30.0) -> None:
+        """Stop serving, drain in-flight batches, release the socket.
+
+        Idempotent.  New connections stop being accepted immediately;
+        batches already executing get up to ``drain_timeout`` seconds to
+        finish and ship their responses, so a SIGTERM'd worker does not
+        strand a shard mid-simulation and force the client's retry path.
+        """
         self.shutdown()
+        with self._drain:
+            deadline = time.monotonic() + drain_timeout
+            while self._active_batches:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._drain.wait(remaining)
         self.server_close()
 
 
@@ -296,6 +357,7 @@ def spawn_local_worker(
     cache_max_rows: Optional[int] = None,
     timeout: float = 30.0,
     capacity: Optional[int] = None,
+    secret: Optional[str] = None,
 ) -> LocalWorkerProcess:
     """Start one ``repro worker`` daemon subprocess on a free port.
 
@@ -323,6 +385,10 @@ def spawn_local_worker(
     env = dict(os.environ)
     package_root = str(Path(repro.__file__).resolve().parents[1])
     env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    if secret:
+        # Via the environment, not argv: the config layer picks it up as
+        # REPRO_FLEET_SECRET and it never shows in the process listing.
+        env["REPRO_FLEET_SECRET"] = secret
     process = subprocess.Popen(
         argv,
         stdout=subprocess.PIPE,
@@ -364,6 +430,7 @@ def spawn_local_workers(
     cache_path: Optional[str] = None,
     cache_max_rows: Optional[int] = None,
     capacity: Optional[int] = None,
+    secret: Optional[str] = None,
 ) -> List[LocalWorkerProcess]:
     """Spawn ``count`` local daemons, reaping the survivors on failure."""
     workers: List[LocalWorkerProcess] = []
@@ -374,6 +441,7 @@ def spawn_local_workers(
                     cache_path=cache_path,
                     cache_max_rows=cache_max_rows,
                     capacity=capacity,
+                    secret=secret,
                 )
             )
     except Exception:
@@ -383,12 +451,38 @@ def spawn_local_workers(
     return workers
 
 
+def install_shutdown_signals(server) -> "threading.Event":
+    """Point SIGTERM/SIGINT at a graceful ``server.shutdown()``.
+
+    Returns the event set when a signal arrived.  ``shutdown()`` blocks
+    until ``serve_forever`` exits — and ``serve_forever`` runs on the
+    very main thread the handler interrupts — so the handler hands the
+    call to a helper thread instead of deadlocking on itself.  No-op
+    (returns an unset event) off the main thread, where ``signal.signal``
+    is unavailable; embedded servers are closed explicitly instead.
+    """
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal path
+        if not stop.is_set():
+            stop.set()
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _request_stop)
+        except ValueError:
+            break  # not the main thread
+    return stop
+
+
 def serve(
     listen: str,
     cache_path: Optional[str] = None,
     quiet: bool = False,
     cache_max_rows: Optional[int] = None,
     capacity: int = 1,
+    secret: Optional[str] = None,
 ) -> int:
     """Blocking daemon entry point behind ``repro worker``.
 
@@ -397,6 +491,10 @@ def serve(
     cache section the sweep drivers use (``repro worker --config``), so
     a fleet member and its drivers cannot disagree about the shared
     tier's path or its LRU row cap.
+
+    SIGTERM and SIGINT shut down gracefully: the listener stops
+    accepting, in-flight batches drain and ship their responses, cache
+    tiers close, and the process exits 0.
     """
     from repro.engine.cache import make_stats_cache
 
@@ -406,20 +504,26 @@ def serve(
         if cache_path
         else None
     )
-    worker = FleetWorker((host, port), cache=cache, capacity=capacity)
+    worker = FleetWorker(
+        (host, port), cache=cache, capacity=capacity, secret=secret
+    )
     if not quiet:
         print(
             f"fleet worker pid {os.getpid()} listening on {worker.address} "
             f"(controllers: {', '.join(registered_controller_types())}; "
-            f"cache: {cache_path or 'none'}; capacity: {worker.capacity})",
+            f"cache: {cache_path or 'none'}; capacity: {worker.capacity}; "
+            f"auth: {'on' if worker.secret else 'off'})",
             flush=True,
         )
+    install_shutdown_signals(worker)
     try:
         worker.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        worker.server_close()
+        worker.close()
         if cache is not None and hasattr(cache, "close"):
             cache.close()
+    if not quiet:
+        print("fleet worker stopped", flush=True)
     return 0

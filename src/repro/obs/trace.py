@@ -35,7 +35,9 @@ from typing import Any, Dict, List, Optional
 TRACE_VERSION = 1
 
 #: Span categories, one per stack tier (used by smoke checks).
-CATEGORIES = ("session", "sweep", "engine", "scheduler", "cache", "fleet")
+CATEGORIES = (
+    "session", "sweep", "engine", "scheduler", "cache", "fleet", "serve",
+)
 
 
 class _NullSpan:

@@ -1,0 +1,39 @@
+"""repro.serve — the resident sweep service.
+
+One daemon process (``repro serve --listen HOST:PORT``) owns one
+:class:`~repro.session.Session` — one shared stats cache, one
+executor/fleet backend — and multiplexes many clients onto it over the
+fleet wire protocol.  That is the paper's traffic model made concrete:
+overlapping scenario matrices submitted by independent users hit one
+measurement substrate, so the millionth AlexNet sweep is nearly all
+cache hits.
+
+* :class:`Job` / :class:`JobQueue` — submissions with states
+  (``queued`` → ``running`` → ``done``/``failed``/``cancelled``),
+  cooperative cancellation, and per-job progress subscription;
+* :class:`SweepService` — the threading TCP server: accepts
+  ``submit_sweep``/``job_*`` messages, runs jobs one at a time on an
+  executor thread (cross-job dedup comes from the shared cache), and
+  archives every finished ``SweepReport`` as JSON that feeds straight
+  into ``repro report diff`` and ``--resume``;
+* :class:`ServeClient` — the blocking client behind ``repro submit`` /
+  ``jobs`` / ``status`` / ``result`` / ``cancel``, with progress
+  streaming via :meth:`~ServeClient.watch`.
+
+Results are bit-identical to the same plan run via ``repro sweep``
+locally: submissions travel as resolved config dicts and replay through
+the exact same :class:`~repro.sweep.SweepRunner` path.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.jobs import JOB_STATES, Job, JobQueue
+from repro.serve.server import SweepService, serve
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "ServeClient",
+    "SweepService",
+    "serve",
+]

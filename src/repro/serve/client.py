@@ -1,0 +1,256 @@
+"""The sweep service's blocking client — the library behind the CLI.
+
+:class:`ServeClient` speaks the fleet wire protocol to one daemon over
+a persistent connection: hello (with the optional HMAC challenge), then
+request/response frames.  Every public method maps one-to-one onto a
+CLI verb: :meth:`submit` (``repro submit``), :meth:`jobs`, :meth:`status`,
+:meth:`result`, :meth:`cancel`, plus :meth:`watch` for streamed
+scenario-level progress and :meth:`wait` for simple polling.
+
+Server-side refusals arrive as error frames and raise
+:class:`~repro.errors.ServeError`; transport/framing trouble raises
+:class:`~repro.fleet.protocol.ProtocolError` — the same split callers
+of the fleet backend already handle.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.fleet import protocol
+from repro.fleet.worker import parse_address
+from repro.sweep.report import SweepReport
+
+#: Seconds to wait for the daemon to accept a connection.
+CONNECT_TIMEOUT_S = 5.0
+
+#: Default per-response timeout.  Generous: ``watch`` can legitimately
+#: sit idle between scenario events of a long sweep.
+RESPONSE_TIMEOUT_S = 600.0
+
+
+class ServeClient:
+    """One persistent client connection to a sweep service daemon."""
+
+    def __init__(
+        self,
+        address: str,
+        secret: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.address = address
+        self.host, self.port = parse_address(address, default_port=9462)
+        self.secret = secret or None
+        self.timeout = timeout if timeout is not None else RESPONSE_TIMEOUT_S
+        self.hello: Optional[dict] = None
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=CONNECT_TIMEOUT_S
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.timeout)
+            try:
+                hello = protocol.recv_message(sock)
+                if not hello or hello.get("type") != "hello":
+                    raise protocol.ProtocolError(
+                        f"service {self.address} did not say hello"
+                    )
+                if hello.get("version") != protocol.PROTOCOL_VERSION:
+                    raise protocol.ProtocolError(
+                        f"service {self.address} speaks protocol version "
+                        f"{hello.get('version')}, client speaks "
+                        f"{protocol.PROTOCOL_VERSION}"
+                    )
+                self._authenticate(sock, hello)
+            except protocol.ProtocolError:
+                sock.close()
+                raise
+            self.hello = hello
+            self._sock = sock
+        return self._sock
+
+    def _authenticate(self, sock: socket.socket, hello: dict) -> None:
+        challenge = hello.get("auth")
+        if not isinstance(challenge, dict):
+            return
+        nonce = challenge.get("nonce")
+        if not isinstance(nonce, str):
+            return
+        if not self.secret:
+            raise protocol.ProtocolError(
+                f"service {self.address} requires a shared secret; set "
+                f"fleet.secret (or REPRO_FLEET_SECRET)"
+            )
+        protocol.send_message(sock, protocol.auth_message(self.secret, nonce))
+        answer = protocol.recv_message(sock)
+        if not answer or answer.get("type") != "auth_ok":
+            raise protocol.ProtocolError(
+                f"service {self.address} rejected the shared secret"
+            )
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self.hello = None
+
+    def _recv(self) -> dict:
+        """One response frame, with error frames raised as ServeError."""
+        response = protocol.recv_message(self._sock)
+        if response is None:
+            self._drop()
+            raise protocol.ProtocolError(
+                f"service {self.address} closed the connection mid-request"
+            )
+        if response.get("type") == "error":
+            raise ServeError(
+                response.get("error", "sweep service refused the request")
+            )
+        return response
+
+    def request(self, message: dict) -> dict:
+        """One request/response round trip (connecting if needed)."""
+        with self._lock:
+            sock = self._connect()
+            try:
+                protocol.send_message(sock, message)
+                return self._recv()
+            except (OSError, protocol.ProtocolError):
+                self._drop()
+                raise
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        try:
+            return self.request({"type": "ping"}).get("type") == "pong"
+        except (OSError, protocol.ProtocolError):
+            return False
+
+    def submit(
+        self,
+        plan,
+        resume: Optional[SweepReport] = None,
+        label: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit a :class:`~repro.sweep.SweepPlan`; returns the queued
+        job's description.  ``resume`` is an archived report whose
+        config-hash-matched scenarios the service will not re-run."""
+        message = protocol.submit_message(
+            protocol.plan_to_wire(plan),
+            resume=resume.to_dict() if resume is not None else None,
+            label=label,
+        )
+        return self._job_reply(self.request(message))
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job the daemon knows, in submission order."""
+        response = self.request({"type": "job_list"})
+        return list(response.get("jobs", []))
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._job_reply(
+            self.request(protocol.job_request_message("job_status", job_id))
+        )
+
+    def result(self, job_id: str) -> SweepReport:
+        """A finished job's archived :class:`SweepReport`."""
+        response = self.request(
+            protocol.job_request_message("job_result", job_id)
+        )
+        return SweepReport.from_dict(response.get("report", {}))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._job_reply(
+            self.request(protocol.job_request_message("job_cancel", job_id))
+        )
+
+    def watch(
+        self,
+        job_id: str,
+        callback: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Stream a job's progress until it lands; returns its final
+        state.  ``callback`` sees every scenario-level event."""
+        with self._lock:
+            sock = self._connect()
+            try:
+                protocol.send_message(
+                    sock, protocol.job_request_message("job_watch", job_id)
+                )
+                while True:
+                    response = self._recv()
+                    kind = response.get("type")
+                    if kind == "progress":
+                        if callback is not None:
+                            callback(dict(response.get("event", {})))
+                    elif kind == "job":
+                        return dict(response.get("job", {}))
+                    # Unknown frame kinds are skipped (version tolerance).
+            except (OSError, protocol.ProtocolError):
+                self._drop()
+                raise
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or timeout)."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            job = self.status(job_id)
+            if job.get("state") in ("done", "failed", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {job.get('state')} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_s)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _job_reply(response: dict) -> Dict[str, Any]:
+        if response.get("type") != "job":
+            raise ServeError(
+                f"unexpected reply type {response.get('type')!r} "
+                f"(wanted 'job')"
+            )
+        return dict(response.get("job", {}))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    protocol.send_message(self._sock, {"type": "bye"})
+                except (OSError, protocol.ProtocolError):
+                    pass
+            self._drop()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,387 @@
+"""The sweep service daemon: many clients, one measurement substrate.
+
+:class:`SweepService` is a threading TCP server (one handler thread per
+client connection, the same accept model as the fleet worker) wrapped
+around exactly one :class:`~repro.session.Session`.  Handlers translate
+wire messages into :class:`~repro.serve.jobs.JobQueue` operations; a
+single executor thread drains the queue and runs each job through
+``Session.sweep`` — sequentially, because a session's engines are not
+thread-safe, and deliberately: concurrency across *clients* comes from
+the shared stats cache (a scenario one job simulated is a cache hit for
+every later job), not from racing sweeps against each other.
+
+Every finished report — including the partial report of a cancelled
+job — is archived as ``<archive_dir>/<job-id>.json``, a plain
+:class:`~repro.sweep.SweepReport` document that feeds straight into
+``repro report diff`` and ``repro submit --resume``.
+
+Shutdown is graceful: SIGTERM/SIGINT stop the listener, cancel the
+running job at its next scenario checkpoint (archiving the resumable
+partial), close the session's cache tiers and fleet, and exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.errors import ReproError, ServeError, SweepCancelled
+from repro.fleet import protocol
+from repro.fleet.worker import install_shutdown_signals, parse_address
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
+from repro.serve.jobs import Job, JobQueue
+from repro.session.config import SessionConfig
+from repro.sweep.report import SweepReport
+
+
+class _ServeRequestHandler(socketserver.BaseRequestHandler):
+    """One client connection: hello (+auth), then a request loop.
+
+    Per-connection state is nothing but the socket itself — every
+    mutation goes through the lock-protected job queue — so two clients
+    interleaving messages on one daemon cannot corrupt each other.
+    """
+
+    def setup(self) -> None:
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def handle(self) -> None:
+        server: SweepService = self.server  # type: ignore[assignment]
+        server.metrics.counter("serve.connections").inc()
+        nonce = protocol.make_nonce() if server.secret else None
+        hello = protocol.hello_message(
+            ["sweep"], os.getpid(), capacity=1, nonce=nonce
+        )
+        hello["service"] = "sweep"
+        protocol.send_message(self.request, hello)
+        if server.secret:
+            try:
+                answer = protocol.recv_message(self.request)
+            except (protocol.ProtocolError, OSError):
+                return
+            if answer is None or not protocol.verify_auth(
+                server.secret, nonce, answer
+            ):
+                try:
+                    protocol.send_message(
+                        self.request,
+                        protocol.error_message(
+                            protocol.ProtocolError(
+                                "authentication failed: bad or missing "
+                                "shared secret"
+                            )
+                        ),
+                    )
+                except (protocol.ProtocolError, OSError):
+                    pass
+                return
+            protocol.send_message(self.request, {"type": "auth_ok"})
+        while True:
+            try:
+                message = protocol.recv_message(self.request)
+            except (protocol.ProtocolError, OSError):
+                return  # client vanished or spoke garbage; drop the line
+            if message is None or message.get("type") == "bye":
+                return
+            try:
+                if not self._dispatch(server, message):
+                    return
+            except (protocol.ProtocolError, OSError):
+                return
+
+    def _dispatch(self, server: "SweepService", message: dict) -> bool:
+        """Answer one message; False ends the connection."""
+        kind = message.get("type")
+        try:
+            if kind == "ping":
+                protocol.send_message(self.request, {"type": "pong"})
+            elif kind == "submit_sweep":
+                job = server.submit(message)
+                protocol.send_message(
+                    self.request, protocol.job_message(job.describe())
+                )
+            elif kind == "job_list":
+                protocol.send_message(
+                    self.request,
+                    protocol.jobs_message(
+                        [job.describe() for job in server.jobs.list()]
+                    ),
+                )
+            elif kind == "job_status":
+                job = server.jobs.get(message.get("id"))
+                protocol.send_message(
+                    self.request, protocol.job_message(job.describe())
+                )
+            elif kind == "job_result":
+                job, report = server.result(message.get("id"))
+                protocol.send_message(
+                    self.request,
+                    protocol.job_result_message(job.describe(), report),
+                )
+            elif kind == "job_cancel":
+                job = server.jobs.cancel(message.get("id"))
+                protocol.send_message(
+                    self.request, protocol.job_message(job.describe())
+                )
+            elif kind == "job_watch":
+                self._watch(server, message.get("id"))
+            else:
+                protocol.send_message(
+                    self.request,
+                    protocol.error_message(
+                        protocol.ProtocolError(
+                            f"unknown message type {kind!r}"
+                        )
+                    ),
+                )
+        except ReproError as exc:
+            # Bad request (unknown job, malformed plan...): answer with
+            # an error frame and keep the connection alive for the next
+            # request — one client mistake must not cost its session.
+            protocol.send_message(self.request, protocol.error_message(exc))
+        return True
+
+    def _watch(self, server: "SweepService", job_id: Optional[str]) -> None:
+        """Stream progress frames until the job lands, then its state."""
+        job = server.jobs.get(job_id)
+        events = server.jobs.subscribe(job.id)
+        try:
+            while True:
+                event = events.get()
+                if event is None:
+                    break
+                protocol.send_message(
+                    self.request, protocol.progress_message(job.id, event)
+                )
+        finally:
+            server.jobs.unsubscribe(job.id, events)
+        protocol.send_message(
+            self.request, protocol.job_message(job.describe())
+        )
+
+
+class SweepService(socketserver.ThreadingTCPServer):
+    """The daemon: a threading TCP server owning one session and a queue.
+
+    Args:
+        address: ``(host, port)`` to bind; port 0 picks a free port.
+        config: The :class:`SessionConfig` the owned session resolves
+            from — its cache path is what every job shares.
+        archive_dir: Directory for finished-job ``SweepReport`` JSON
+            (created on demand).
+        secret: Opt-in shared secret; same challenge-response contract
+            as the fleet worker (``fleet.secret`` covers both).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        config: Optional[SessionConfig] = None,
+        archive_dir: Optional[str] = None,
+        secret: Optional[str] = None,
+    ) -> None:
+        super().__init__(address, _ServeRequestHandler)
+        self.config = config if config is not None else SessionConfig()
+        self.secret = (
+            secret if secret is not None else self.config.fleet.secret
+        ) or None
+        self.archive_dir = Path(
+            archive_dir if archive_dir is not None else "serve-archive"
+        )
+        self.jobs = JobQueue()
+        self.metrics = MetricsRegistry()
+        self._session = None
+        self._session_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._serving = threading.Event()
+        self._executor = threading.Thread(
+            target=self._run_jobs, name="serve-executor", daemon=True
+        )
+        self._executor.start()
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving.set()
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _session_for_jobs(self):
+        """The one lazily-built session every job runs against."""
+        from repro.session.session import Session
+
+        with self._session_lock:
+            if self._session is None:
+                self._session = Session(self.config)
+            return self._session
+
+    # ------------------------------------------------------------------
+    # handler entry points
+    # ------------------------------------------------------------------
+    def submit(self, message: dict) -> Job:
+        """Validate one ``submit_sweep`` message into a queued job."""
+        if self._stopping.is_set():
+            raise ServeError("service is shutting down; not accepting jobs")
+        plan = protocol.plan_from_wire(message.get("plan", {}))
+        resume = None
+        if isinstance(message.get("resume"), dict):
+            try:
+                resume = SweepReport.from_dict(message["resume"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServeError(
+                    f"malformed resume archive: {exc}"
+                ) from exc
+        job = self.jobs.submit(
+            plan, resume=resume, label=message.get("label")
+        )
+        self.metrics.counter("serve.jobs_submitted").inc()
+        return job
+
+    def result(self, job_id: Optional[str]) -> Tuple[Job, dict]:
+        """A finished job's archived report dict (state-checked)."""
+        job = self.jobs.get(job_id)
+        if job.archive is None:
+            raise ServeError(
+                f"job {job.id} is {job.state} and has no archived report yet"
+            )
+        with open(job.archive, "r", encoding="utf-8") as handle:
+            return job, json.load(handle)
+
+    # ------------------------------------------------------------------
+    # the executor thread
+    # ------------------------------------------------------------------
+    def _run_jobs(self) -> None:
+        while not self._stopping.is_set():
+            job = self.jobs.next_job(timeout=0.1)
+            if job is None:
+                continue
+            self._run_job(job)
+        # Drain: anything still queued at shutdown is cancelled, so
+        # clients polling across the restart see a terminal state.
+        while True:
+            job = self.jobs.next_job(timeout=0)
+            if job is None:
+                break
+            self.jobs.finish(job, "cancelled", error="service shut down")
+
+    def _run_job(self, job: Job) -> None:
+        def progress(event: dict) -> None:
+            if job.cancel_event.is_set():
+                raise SweepCancelled(f"job {job.id} cancelled")
+            self.jobs.publish(job, event)
+
+        with TRACER.span(
+            "serve.job", category="serve",
+            job=job.id, scenarios=len(job.plan.scenarios),
+        ):
+            try:
+                session = self._session_for_jobs()
+                report = session.sweep(
+                    job.plan, progress=progress, resume=job.resume
+                )
+            except SweepCancelled as exc:
+                archive = (
+                    self._archive(job, exc.partial)
+                    if exc.partial is not None and exc.partial.scenarios
+                    else None
+                )
+                self.jobs.finish(
+                    job, "cancelled", error=str(exc), archive=archive
+                )
+                self.metrics.counter("serve.jobs_cancelled").inc()
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                self.jobs.finish(job, "failed", error=str(exc))
+                self.metrics.counter("serve.jobs_failed").inc()
+            else:
+                archive = self._archive(job, report)
+                self.jobs.finish(job, "done", archive=archive)
+                self.metrics.counter("serve.jobs_done").inc()
+                self.metrics.counter("serve.scenarios_done").inc(
+                    len(report.scenarios)
+                )
+                self.metrics.counter("serve.scenarios_resumed").inc(
+                    int(report.counters.get("resumed_scenarios", 0))
+                )
+
+    def _archive(self, job: Job, report: SweepReport) -> str:
+        self.archive_dir.mkdir(parents=True, exist_ok=True)
+        path = self.archive_dir / f"{job.id}.json"
+        path.write_text(report.to_json() + "\n", encoding="utf-8")
+        return str(path)
+
+    # ------------------------------------------------------------------
+    def close(self, drain_timeout: float = 30.0) -> None:
+        """Graceful stop: no new jobs, cancel the running one at its
+        next checkpoint (archiving the resumable partial), close the
+        owned session's cache tiers and fleet.  Idempotent."""
+        self._stopping.set()
+        for job in self.jobs.list():
+            if job.state == "running":
+                job.cancel_event.set()
+        if self._serving.is_set():
+            self.shutdown()
+        self._executor.join(drain_timeout)
+        self.server_close()
+        with self._session_lock:
+            if self._session is not None:
+                self._session.close()
+                self._session = None
+
+
+def serve(
+    listen: str,
+    config: Optional[SessionConfig] = None,
+    archive_dir: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    """Blocking daemon entry point behind ``repro serve``.
+
+    Serves until interrupted; SIGTERM/SIGINT shut down gracefully (the
+    running job's partial report is archived for ``--resume``) and the
+    process exits 0.
+    """
+    host, port = parse_address(listen, default_port=9462)
+    config = config if config is not None else SessionConfig()
+    service = SweepService(
+        (host, port), config=config, archive_dir=archive_dir
+    )
+    if not quiet:
+        print(
+            f"sweep service pid {os.getpid()} listening on "
+            f"{service.address} (cache: {config.cache.path or 'memory'}; "
+            f"archive: {service.archive_dir}; "
+            f"auth: {'on' if service.secret else 'off'})",
+            flush=True,
+        )
+    install_shutdown_signals(service)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    if not quiet:
+        print("sweep service stopped", flush=True)
+    return 0

@@ -283,6 +283,17 @@ class FleetConfig:
                             "steal_deadline instead)"),
     )
 
+    secret: Optional[str] = field(
+        default=None,
+        metadata=_meta(key="fleet_secret", kind="optstr", metavar="SECRET",
+                       help="opt-in shared secret for the wire protocol: "
+                            "repro worker and repro serve challenge "
+                            "every connection (HMAC-SHA256 over a "
+                            "per-connection nonce; the secret never "
+                            "crosses the wire) and clients must answer "
+                            "before anything else runs"),
+    )
+
     def __post_init__(self) -> None:
         object.__setattr__(self, "workers", _coerce_workers(self.workers))
         if self.autostart < 0:

@@ -158,6 +158,7 @@ class Session:
                     cache_path=cache_cfg.path,
                     cache_max_rows=cache_cfg.max_rows,
                     capacity=config.fleet.capacity,
+                    secret=config.fleet.secret,
                 )
             except BaseException:
                 close = getattr(self._cache, "close", None)
@@ -175,6 +176,7 @@ class Session:
                 workers or None,
                 config.engine.max_workers,
                 shard_timeout=config.fleet.shard_timeout,
+                secret=config.fleet.secret,
             )
             self.engine = EvaluationEngine(
                 self.simulator_config,
@@ -470,7 +472,7 @@ class Session:
         with TRACER.span("session.compare", category="session", model=model):
             return self.sweep(plan).scenarios[0].report
 
-    def sweep(self, plan) -> "SweepReport":
+    def sweep(self, plan, progress=None, resume=None) -> "SweepReport":
         """Execute a :class:`~repro.sweep.SweepPlan` across scenarios.
 
         All scenarios run against this session's resources — one stats
@@ -480,6 +482,13 @@ class Session:
         shared between scenarios simulate exactly once and the executor
         tiers stay saturated across the whole matrix.  Returns a
         :class:`~repro.sweep.SweepReport`.
+
+        ``progress`` is an optional per-milestone event callback (see
+        :class:`~repro.sweep.SweepRunner`); raising
+        :class:`~repro.errors.SweepCancelled` from it aborts between
+        scenarios with a resumable partial report attached.  ``resume``
+        is an archived :class:`~repro.sweep.SweepReport` whose
+        config-hash-matched scenarios are adopted instead of re-run.
         """
         from repro.sweep import SweepPlan
         from repro.sweep.runner import SweepRunner
@@ -493,7 +502,9 @@ class Session:
             "session.sweep", category="session",
             scenarios=len(plan.scenarios),
         ):
-            return SweepRunner(self).execute(plan)
+            return SweepRunner(self, progress=progress).execute(
+                plan, resume=resume
+            )
 
     # ------------------------------------------------------------------
     def counters(self) -> Dict[str, Any]:

@@ -51,6 +51,7 @@ from repro.sweep.plan import (
     resolve_axis_key,
 )
 from repro.sweep.report import ScenarioResult, SweepReport, scenario_metric
+from repro.sweep.resume import scenario_fingerprint, split_resume
 from repro.sweep.runner import SweepRunner
 
 __all__ = [
@@ -66,5 +67,7 @@ __all__ = [
     "diff_reports",
     "load_report",
     "resolve_axis_key",
+    "scenario_fingerprint",
     "scenario_metric",
+    "split_resume",
 ]

@@ -56,7 +56,15 @@ def scenario_metric(report, metric: str) -> Optional[float]:
 
 @dataclass
 class ScenarioResult:
-    """One executed sweep cell: its matrix coordinates plus its report."""
+    """One executed sweep cell: its matrix coordinates plus its report.
+
+    ``config_hash`` is the scenario's resolved-config fingerprint
+    (:func:`repro.sweep.resume.scenario_fingerprint`), stamped at
+    execution time — it is what ``--resume`` matches an archived cell
+    against a new plan with, so renamed scenarios still resume and
+    reconfigured ones never do.  Archives predating it (no hash) are
+    simply never matched.
+    """
 
     name: str
     kind: str
@@ -64,6 +72,7 @@ class ScenarioResult:
     model: Optional[str] = None
     profile: Optional[str] = None
     overrides: Dict[str, Any] = field(default_factory=dict)
+    config_hash: Optional[str] = None
 
     def labels(self) -> Dict[str, Any]:
         labels: Dict[str, Any] = {"model": self.model}
@@ -76,7 +85,7 @@ class ScenarioResult:
         return scenario_metric(self.report, name)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "kind": self.kind,
             "model": self.model,
@@ -84,6 +93,9 @@ class ScenarioResult:
             "overrides": dict(self.overrides),
             "report": self.report.to_dict(),
         }
+        if self.config_hash is not None:
+            data["config_hash"] = self.config_hash
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
@@ -94,6 +106,7 @@ class ScenarioResult:
             model=data.get("model"),
             profile=data.get("profile"),
             overrides=dict(data.get("overrides", {})),
+            config_hash=data.get("config_hash"),
         )
 
 

@@ -1,0 +1,86 @@
+"""Sweep resume: skip scenarios an archived report already answered.
+
+A week-long matrix that dies at cell 37 should not re-simulate cells
+1–36.  :func:`scenario_fingerprint` hashes the *resolved* inputs that
+determine a cell's report — the full :class:`~repro.session.SessionConfig`
+dict plus the workload reference (model, kind, layer) — so resume
+matching is semantic, not positional: renamed scenarios still match,
+reconfigured ones never do.  :func:`split_resume` partitions a new plan
+against an archived :class:`~repro.sweep.report.SweepReport` into the
+scenarios that must still run and the results that carry over (re-labelled
+to the new plan's coordinates).
+
+Archives written before hashes existed carry no ``config_hash`` and are
+never matched — resume degrades to a full run, never to a wrong reuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.sweep.plan import Scenario, SweepPlan
+from repro.sweep.report import ScenarioResult, SweepReport
+
+
+def scenario_fingerprint(scenario: Scenario) -> Optional[str]:
+    """The resolved-config hash identifying a scenario's result.
+
+    Covers everything that determines the cell's report: the fully
+    resolved config dict and the workload reference.  Labels (name,
+    profile, overrides) are deliberately excluded — two cells that
+    resolve to the same config+workload produce the same report, however
+    they were spelled in the matrix.
+
+    Returns None for target-bearing scenarios (bare layer descriptors
+    have no stable serialized form), which therefore never resume.
+    """
+    if scenario.target is not None:
+        return None
+    payload = {
+        "config": scenario.config.to_dict(),
+        "model": scenario.model,
+        "kind": scenario.kind,
+        "layer": scenario.layer,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def split_resume(
+    plan: SweepPlan, archive: SweepReport
+) -> Tuple[List[Scenario], Dict[str, ScenarioResult]]:
+    """Partition ``plan`` against ``archive`` into (pending, reused).
+
+    ``pending`` keeps plan order; ``reused`` maps scenario *name* (from
+    the new plan) to the archived result re-labelled to the new cell's
+    coordinates, so the merged report reads as if the whole plan ran.
+    Each archived result is consumed at most once.
+    """
+    by_hash: Dict[str, ScenarioResult] = {}
+    for result in archive.scenarios:
+        if result.config_hash and result.config_hash not in by_hash:
+            by_hash[result.config_hash] = result
+
+    pending: List[Scenario] = []
+    reused: Dict[str, ScenarioResult] = {}
+    for scenario in plan.scenarios:
+        fingerprint = scenario_fingerprint(scenario)
+        archived = by_hash.pop(fingerprint, None) if fingerprint else None
+        if archived is None:
+            pending.append(scenario)
+            continue
+        reused[scenario.name] = ScenarioResult(
+            name=scenario.name,
+            kind=scenario.kind,
+            report=archived.report,
+            model=scenario.model,
+            profile=scenario.profile,
+            overrides=dict(scenario.overrides),
+            config_hash=fingerprint,
+        )
+    return pending, reused
+
+
+__all__ = ["scenario_fingerprint", "split_resume"]

@@ -31,11 +31,12 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import TuningError
+from repro.errors import SweepCancelled, TuningError
 from repro.obs.trace import TRACER
 from repro.session.reports import CompareReport, RunReport, TuneReport
 from repro.sweep.plan import Scenario, SweepPlan
 from repro.sweep.report import ScenarioResult, SweepReport
+from repro.sweep.resume import scenario_fingerprint, split_resume
 
 #: Counter keys aggregated per engine into the sweep-scoped delta.
 _ENGINE_COUNTERS = ("num_evaluations", "num_simulations")
@@ -43,10 +44,21 @@ _CACHE_COUNTERS = ("cache_hits", "cache_misses")
 
 
 class SweepRunner:
-    """Executes a :class:`SweepPlan` against one driving session."""
+    """Executes a :class:`SweepPlan` against one driving session.
 
-    def __init__(self, session) -> None:
+    ``progress``, when given, is called with one event dict per
+    milestone (``start``, ``plan``, ``execute``, ``scenario``, ``done``)
+    — the hook the sweep service streams to watching clients.  Events
+    double as cancellation checkpoints: a callback that raises
+    :class:`~repro.errors.SweepCancelled` aborts the sweep between
+    scenarios, and the exception is re-raised with ``partial`` set to a
+    :class:`SweepReport` of everything finished so far (resumable via
+    ``--resume``).
+    """
+
+    def __init__(self, session, progress=None) -> None:
         self.session = session
+        self._progress = progress
         #: Engines by (fingerprint, functional); seeded with the
         #: session's own so single-scenario sweeps are bit-identical to
         #: the pre-sweep entry points.
@@ -134,14 +146,56 @@ class SweepRunner:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, plan: SweepPlan) -> SweepReport:
-        """Run every scenario, batching run-kind evaluations per engine."""
+    def execute(
+        self, plan: SweepPlan, resume: Optional[SweepReport] = None
+    ) -> SweepReport:
+        """Run every scenario, batching run-kind evaluations per engine.
+
+        ``resume`` is an archived :class:`SweepReport`: scenarios whose
+        resolved-config hash matches an archived cell adopt its report
+        instead of re-running (``counters["resumed_scenarios"]`` counts
+        them).
+        """
         with TRACER.span(
             "sweep.execute", category="sweep", scenarios=len(plan.scenarios)
         ):
-            return self._execute(plan)
+            return self._execute(plan, resume)
 
-    def _execute(self, plan: SweepPlan) -> SweepReport:
+    # ------------------------------------------------------------------
+    # progress / cancellation
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        event: Dict[str, Any],
+        plan: SweepPlan,
+        completed: Dict[str, ScenarioResult],
+    ) -> None:
+        """Deliver one progress event; translate a callback's
+        :class:`SweepCancelled` into one carrying the partial report."""
+        if self._progress is None:
+            return
+        try:
+            self._progress(dict(event))
+        except SweepCancelled as exc:
+            if exc.partial is None:
+                exc.partial = self._partial_report(plan, completed)
+            raise
+
+    def _partial_report(
+        self, plan: SweepPlan, completed: Dict[str, ScenarioResult]
+    ) -> SweepReport:
+        """The resumable report of everything finished at cancel time."""
+        scenarios = [
+            completed[s.name] for s in plan.scenarios if s.name in completed
+        ]
+        return SweepReport(
+            scenarios=scenarios,
+            counters={"scenarios": len(scenarios), "cancelled": True},
+        )
+
+    def _execute(
+        self, plan: SweepPlan, resume: Optional[SweepReport] = None
+    ) -> SweepReport:
         from repro.engine import EvalRequest
         from repro.session.session import zoo_layers
 
@@ -155,11 +209,39 @@ class SweepRunner:
         cache_baseline = {k: getattr(cache, k.split("_", 1)[1])
                           for k in _CACHE_COUNTERS}
 
+        if resume is not None:
+            pending, reused = split_resume(plan, resume)
+        else:
+            pending, reused = list(plan.scenarios), {}
+        total = len(plan.scenarios)
+        completed: Dict[str, ScenarioResult] = dict(reused)
+
+        self._emit(
+            {
+                "event": "start",
+                "total": total,
+                "pending": len(pending),
+                "resumed": len(reused),
+            },
+            plan, completed,
+        )
+        for name in reused:
+            self._emit(
+                {"event": "scenario", "name": name, "status": "resumed",
+                 "completed": len(reused), "total": total},
+                plan, completed,
+            )
+
         # Phase 1: plan every run-kind scenario (cache hits resolve now,
         # misses stay pending) so phase 2 can flatten across scenarios.
         entries: List[Tuple[Scenario, Any, Any, Any]] = []
         batches: Dict[int, Tuple[Any, List[Any]]] = {}
-        for scenario in plan.scenarios:
+        for scenario in pending:
+            self._emit(
+                {"event": "plan", "name": scenario.name,
+                 "completed": len(completed), "total": total},
+                plan, completed,
+            )
             engine, sim_config = self._engine_for(scenario)
             batch_plan = None
             if scenario.kind == "run":
@@ -189,11 +271,15 @@ class SweepRunner:
         # to one static batch per group inside run_plan_groups.)
         from repro.engine.scheduler import run_plan_groups
 
+        self._emit(
+            {"event": "execute", "pending": len(entries),
+             "completed": len(completed), "total": total},
+            plan, completed,
+        )
         scheduler_report = run_plan_groups(list(batches.values()))
 
         # Phase 3: assemble per-scenario reports (tune/compare scenarios
         # execute here, still through the shared engines and cache).
-        results: List[ScenarioResult] = []
         for scenario, engine, sim_config, batch_plan in entries:
             if scenario.kind == "run":
                 # Counters are scenario-scoped (this plan's hits/misses),
@@ -214,18 +300,27 @@ class SweepRunner:
                 report = self._tune_scenario(scenario, engine, sim_config)
             else:
                 report = self._compare_scenario(scenario, engine, sim_config)
-            results.append(
-                ScenarioResult(
-                    name=scenario.name,
-                    kind=scenario.kind,
-                    report=report,
-                    model=scenario.model,
-                    profile=scenario.profile,
-                    overrides=dict(scenario.overrides),
-                )
+            completed[scenario.name] = ScenarioResult(
+                name=scenario.name,
+                kind=scenario.kind,
+                report=report,
+                model=scenario.model,
+                profile=scenario.profile,
+                overrides=dict(scenario.overrides),
+                config_hash=scenario_fingerprint(scenario),
+            )
+            self._emit(
+                {"event": "scenario", "name": scenario.name, "status": "done",
+                 "kind": scenario.kind, "completed": len(completed),
+                 "total": total},
+                plan, completed,
             )
 
+        results = [completed[s.name] for s in plan.scenarios]
+
         counters: Dict[str, Any] = {"scenarios": len(plan.scenarios)}
+        if reused:
+            counters["resumed_scenarios"] = len(reused)
         for key in _ENGINE_COUNTERS:
             counters[key] = sum(
                 getattr(engine, key) - baseline.get(id(engine), {}).get(key, 0)
@@ -254,9 +349,14 @@ class SweepRunner:
                 for result in results:
                     if result.kind == "run":
                         result.report.metrics = dict(metrics)
-        return SweepReport(
+        report = SweepReport(
             scenarios=results, counters=counters, metrics=metrics
         )
+        self._emit(
+            {"event": "done", "completed": len(results), "total": total},
+            plan, completed,
+        )
+        return report
 
     # ------------------------------------------------------------------
     # observability
