@@ -361,9 +361,13 @@ def _cmd_serve(args) -> int:
 
 
 def _client_secret(args=None, config=None):
-    """The shared secret a client command should present: the resolved
-    config when the command carries config flags, else the environment
-    (the same REPRO_FLEET_SECRET the config layer reads)."""
+    """The shared secret a client command should present.
+
+    Every service client verb (submit/jobs/status/result/cancel)
+    resolves its config the same way, so ``fleet.secret`` from a
+    ``--config`` file authenticates all of them alike; the environment
+    (the same REPRO_FLEET_SECRET the config layer reads) is the
+    fallback when no config resolved a secret."""
     import os
 
     if config is not None and config.fleet.secret:
@@ -421,8 +425,12 @@ def _cmd_submit(args) -> int:
 
 def _cmd_jobs(args) -> int:
     from repro.serve import ServeClient
+    from repro.session import config_from_args
 
-    with ServeClient(args.connect, secret=_client_secret()) as client:
+    config = config_from_args(args)
+    with ServeClient(
+        args.connect, secret=_client_secret(args, config)
+    ) as client:
         jobs = client.jobs()
     if not jobs:
         print("no jobs")
@@ -434,16 +442,24 @@ def _cmd_jobs(args) -> int:
 
 def _cmd_status(args) -> int:
     from repro.serve import ServeClient
+    from repro.session import config_from_args
 
-    with ServeClient(args.connect, secret=_client_secret()) as client:
+    config = config_from_args(args)
+    with ServeClient(
+        args.connect, secret=_client_secret(args, config)
+    ) as client:
         print(_job_line(client.status(args.job)))
     return 0
 
 
 def _cmd_result(args) -> int:
     from repro.serve import ServeClient
+    from repro.session import config_from_args
 
-    with ServeClient(args.connect, secret=_client_secret()) as client:
+    config = config_from_args(args)
+    with ServeClient(
+        args.connect, secret=_client_secret(args, config)
+    ) as client:
         report = client.result(args.job)
     if args.report_json:
         from pathlib import Path
@@ -457,8 +473,12 @@ def _cmd_result(args) -> int:
 
 def _cmd_cancel(args) -> int:
     from repro.serve import ServeClient
+    from repro.session import config_from_args
 
-    with ServeClient(args.connect, secret=_client_secret()) as client:
+    config = config_from_args(args)
+    with ServeClient(
+        args.connect, secret=_client_secret(args, config)
+    ) as client:
         job = client.cancel(args.job)
     print(_job_line(job))
     return 0
@@ -621,6 +641,22 @@ tracing and metrics:
 """
 
 
+def _add_service_client_args(parser) -> None:
+    """The flags every lightweight service-client verb shares, so
+    jobs/status/result/cancel resolve the shared secret exactly the way
+    ``repro submit`` does (config file and REPRO_FLEET_SECRET alike)."""
+    parser.add_argument(
+        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
+        help="sweep service address (default 127.0.0.1:9462)")
+    parser.add_argument(
+        "--config", metavar="PATH", default=None,
+        help="layered config file; resolves fleet.secret for the "
+             "handshake (REPRO_FLEET_SECRET also works)")
+    parser.add_argument(
+        "--profile", metavar="NAME", default=None,
+        help="named [profile.NAME] overlay from the --config file")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.session import add_config_arguments
 
@@ -765,24 +801,18 @@ def build_parser() -> argparse.ArgumentParser:
     jobs = sub.add_parser(
         "jobs", help="list a sweep service's jobs in submission order"
     )
-    jobs.add_argument(
-        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
-        help="sweep service address (default 127.0.0.1:9462)")
+    _add_service_client_args(jobs)
 
     status = sub.add_parser("status", help="one job's current state")
     status.add_argument("job", help="job id (repro jobs)")
-    status.add_argument(
-        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
-        help="sweep service address (default 127.0.0.1:9462)")
+    _add_service_client_args(status)
 
     result = sub.add_parser(
         "result",
         help="fetch a finished job's archived SweepReport",
     )
     result.add_argument("job", help="job id (repro jobs)")
-    result.add_argument(
-        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
-        help="sweep service address (default 127.0.0.1:9462)")
+    _add_service_client_args(result)
     result.add_argument(
         "--metric", default="total_cycles",
         help="summary-table metric (default total_cycles)")
@@ -797,9 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
              "next scenario boundary; the partial report stays resumable)",
     )
     cancel.add_argument("job", help="job id (repro jobs)")
-    cancel.add_argument(
-        "--connect", default="127.0.0.1:9462", metavar="HOST:PORT",
-        help="sweep service address (default 127.0.0.1:9462)")
+    _add_service_client_args(cancel)
 
     report = sub.add_parser(
         "report", help="work with archived report JSON files"

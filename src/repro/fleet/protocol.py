@@ -387,7 +387,17 @@ def plan_to_wire(plan) -> Dict[str, Any]:
     zoo model name, kind, labels) *except* ``target`` — a bare in-memory
     layer descriptor standing in for (model, layer) — which cannot be
     archived or resubmitted and therefore cannot cross the wire.
+
+    Only the *result-determining* config sections cross the wire
+    (:func:`~repro.sweep.resume.result_config`: architecture, the
+    functional flag, tuning).  Environmental sections stay client-side —
+    the daemon runs every job against its own executor, cache and fleet,
+    and ``fleet.secret`` in particular must never ride a frame: shipping
+    it would hand the shared secret to any passive observer and defeat
+    the challenge-response design.
     """
+    from repro.sweep.resume import result_config
+
     scenarios = []
     for scenario in plan.scenarios:
         if scenario.target is not None:
@@ -399,7 +409,7 @@ def plan_to_wire(plan) -> Dict[str, Any]:
         scenarios.append(
             {
                 "name": scenario.name,
-                "config": scenario.config.to_dict(),
+                "config": result_config(scenario.config),
                 "model": scenario.model,
                 "kind": scenario.kind,
                 "layer": scenario.layer,

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import socket
 import socketserver
+import sys
 import threading
 from pathlib import Path
 from typing import Optional, Tuple
@@ -148,12 +150,24 @@ class _ServeRequestHandler(socketserver.BaseRequestHandler):
         return True
 
     def _watch(self, server: "SweepService", job_id: Optional[str]) -> None:
-        """Stream progress frames until the job lands, then its state."""
+        """Stream progress frames until the job lands, then its state.
+
+        The wait on the subscriber queue is bounded: between events the
+        socket is probed, so a watcher that vanished mid-job is
+        unsubscribed promptly instead of pinning its handler thread (and
+        every buffered progress event) until the job reaches a terminal
+        state.
+        """
         job = server.jobs.get(job_id)
         events = server.jobs.subscribe(job.id)
         try:
             while True:
-                event = events.get()
+                try:
+                    event = events.get(timeout=1.0)
+                except queue.Empty:
+                    if self._watcher_vanished():
+                        return
+                    continue
                 if event is None:
                     break
                 protocol.send_message(
@@ -164,6 +178,25 @@ class _ServeRequestHandler(socketserver.BaseRequestHandler):
         protocol.send_message(
             self.request, protocol.job_message(job.describe())
         )
+
+    def _watcher_vanished(self) -> bool:
+        """True when the watching client hung up (EOF on a peek).
+
+        A watcher sends nothing while a watch is active, so a non-blocking
+        peek either raises ``BlockingIOError`` (alive, idle), returns
+        ``b""`` (clean hangup), or errors (reset).
+        """
+        try:
+            return (
+                self.request.recv(
+                    1, socket.MSG_PEEK | socket.MSG_DONTWAIT
+                )
+                == b""
+            )
+        except (BlockingIOError, InterruptedError):
+            return False
+        except OSError:
+            return True
 
 
 class SweepService(socketserver.ThreadingTCPServer):
@@ -343,6 +376,20 @@ class SweepService(socketserver.ThreadingTCPServer):
         if self._serving.is_set():
             self.shutdown()
         self._executor.join(drain_timeout)
+        while self._executor.is_alive():
+            # Cancellation only lands at scenario-boundary checkpoints;
+            # a scenario outliving the drain timeout means the sweep is
+            # still running.  Closing the session (and its cache tiers)
+            # underneath it risks errors and partial cache writes, so
+            # keep waiting — loudly — until the executor actually exits.
+            print(
+                "serve: in-flight scenario has not reached its "
+                "cancellation checkpoint yet; waiting before closing "
+                "caches...",
+                file=sys.stderr,
+                flush=True,
+            )
+            self._executor.join(10.0)
         self.server_close()
         with self._session_lock:
             if self._session is not None:

@@ -51,7 +51,11 @@ from repro.sweep.plan import (
     resolve_axis_key,
 )
 from repro.sweep.report import ScenarioResult, SweepReport, scenario_metric
-from repro.sweep.resume import scenario_fingerprint, split_resume
+from repro.sweep.resume import (
+    result_config,
+    scenario_fingerprint,
+    split_resume,
+)
 from repro.sweep.runner import SweepRunner
 
 __all__ = [
@@ -67,6 +71,7 @@ __all__ = [
     "diff_reports",
     "load_report",
     "resolve_axis_key",
+    "result_config",
     "scenario_fingerprint",
     "scenario_metric",
     "split_resume",

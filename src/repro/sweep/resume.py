@@ -2,13 +2,16 @@
 
 A week-long matrix that dies at cell 37 should not re-simulate cells
 1–36.  :func:`scenario_fingerprint` hashes the *resolved* inputs that
-determine a cell's report — the full :class:`~repro.session.SessionConfig`
-dict plus the workload reference (model, kind, layer) — so resume
-matching is semantic, not positional: renamed scenarios still match,
-reconfigured ones never do.  :func:`split_resume` partitions a new plan
-against an archived :class:`~repro.sweep.report.SweepReport` into the
-scenarios that must still run and the results that carry over (re-labelled
-to the new plan's coordinates).
+determine a cell's report — the result-determining sections of its
+:class:`~repro.session.SessionConfig` (:func:`result_config`) plus the
+workload reference (model, kind, layer) — so resume matching is
+semantic, not positional: renamed scenarios still match, reconfigured
+ones never do, and environmental differences (executor choice, cache
+paths, fleet wiring, a rotated ``fleet.secret``) never invalidate a
+match.  :func:`split_resume` partitions a new plan against an archived
+:class:`~repro.sweep.report.SweepReport` into the scenarios that must
+still run and the results that carry over (re-labelled to the new
+plan's coordinates).
 
 Archives written before hashes existed carry no ``config_hash`` and are
 never matched — resume degrades to a full run, never to a wrong reuse.
@@ -24,14 +27,36 @@ from repro.sweep.plan import Scenario, SweepPlan
 from repro.sweep.report import ScenarioResult, SweepReport
 
 
+def result_config(config) -> Dict[str, Dict[str, object]]:
+    """The sections of a resolved config that determine a scenario's
+    results: the architecture, the engine's ``functional`` flag, and the
+    tuning section.
+
+    Environmental knobs — executor choice and pool sizing, cache paths
+    and bounds, fleet wiring and ``fleet.secret``, observability — are
+    excluded: they change where and how fast a scenario runs, never what
+    it reports (the sweep runner reads them from the driving session,
+    not the scenario).  Keeping them out means resume fingerprints
+    survive environment changes, and nothing secret ever lands in an
+    archive or a wire frame.
+    """
+    full = config.to_dict()
+    return {
+        "architecture": full["architecture"],
+        "engine": {"functional": full["engine"]["functional"]},
+        "tuning": full["tuning"],
+    }
+
+
 def scenario_fingerprint(scenario: Scenario) -> Optional[str]:
     """The resolved-config hash identifying a scenario's result.
 
-    Covers everything that determines the cell's report: the fully
-    resolved config dict and the workload reference.  Labels (name,
-    profile, overrides) are deliberately excluded — two cells that
-    resolve to the same config+workload produce the same report, however
-    they were spelled in the matrix.
+    Covers everything that determines the cell's report: the
+    result-determining config sections (:func:`result_config`) and the
+    workload reference.  Labels (name, profile, overrides) and
+    environmental knobs are deliberately excluded — two cells that
+    resolve to the same hardware+workload produce the same report,
+    however they were spelled in the matrix and wherever they ran.
 
     Returns None for target-bearing scenarios (bare layer descriptors
     have no stable serialized form), which therefore never resume.
@@ -39,7 +64,7 @@ def scenario_fingerprint(scenario: Scenario) -> Optional[str]:
     if scenario.target is not None:
         return None
     payload = {
-        "config": scenario.config.to_dict(),
+        "config": result_config(scenario.config),
         "model": scenario.model,
         "kind": scenario.kind,
         "layer": scenario.layer,
@@ -83,4 +108,4 @@ def split_resume(
     return pending, reused
 
 
-__all__ = ["scenario_fingerprint", "split_resume"]
+__all__ = ["result_config", "scenario_fingerprint", "split_resume"]

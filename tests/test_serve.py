@@ -63,6 +63,41 @@ class TestResume:
         }
         assert len(prints) == 3
 
+    def test_fingerprint_ignores_environmental_knobs(self):
+        """Executor/cache/fleet/obs differences must not break resume
+        matching — and fleet.secret must never influence (or leak via)
+        an archived hash."""
+        base = SessionConfig.resolve(env=False)
+        envy = SessionConfig.resolve(
+            env=False,
+            fleet_secret="s3cret",
+            cache_path="elsewhere.sqlite",
+            executor="thread",
+            workers="hostA:9461,hostB:9461",
+            trace=True,
+        )
+        a = SweepPlan.matrix(base, models=["mlp"]).scenarios[0]
+        b = SweepPlan.matrix(envy, models=["mlp"]).scenarios[0]
+        assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+    def test_fingerprint_tracks_result_determining_knobs(self):
+        base = SweepPlan.matrix(
+            SessionConfig.resolve(env=False), models=["mlp"]
+        ).scenarios[0]
+        functional = SweepPlan.matrix(
+            SessionConfig.resolve(env=False, functional=True),
+            models=["mlp"],
+        ).scenarios[0]
+        tuned = SweepPlan.matrix(
+            SessionConfig.resolve(env=False, seed=7), models=["mlp"]
+        ).scenarios[0]
+        prints = {
+            scenario_fingerprint(base),
+            scenario_fingerprint(functional),
+            scenario_fingerprint(tuned),
+        }
+        assert len(prints) == 3
+
     def test_target_scenarios_never_fingerprint(self):
         from repro.stonne.layer import ConvLayer
 
@@ -341,6 +376,78 @@ class TestServeService:
                 client.status("job-9999")
             assert client.ping()  # connection survived the refusal
 
+    def test_submit_frames_never_carry_the_secret(self):
+        """The wire form of a plan holds only result-determining config
+        sections — in particular no fleet section, whose secret in a
+        plaintext frame would hand authentication to any observer."""
+        config = SessionConfig.resolve(
+            env=False,
+            fleet_secret="hunter2",
+            cache_path="private.sqlite",
+            workers="hostA:9461",
+        )
+        plan = SweepPlan.matrix(config, models=["mlp"])
+        wire = protocol.plan_to_wire(plan)
+        blob = json.dumps(wire)
+        assert "hunter2" not in blob
+        assert "secret" not in blob
+        assert "fleet" not in blob
+        # The reduced form still round-trips to the same resume hash.
+        rebuilt = protocol.plan_from_wire(wire)
+        assert scenario_fingerprint(rebuilt.scenarios[0]) == (
+            scenario_fingerprint(plan.scenarios[0])
+        )
+
+    def test_dead_watcher_unsubscribes_mid_job(self, tmp_path, monkeypatch):
+        """A watcher that hangs up while its job is still running must
+        be unsubscribed promptly, not pinned (buffering every progress
+        event) until the job lands."""
+        from repro.session.session import Session as RealSession
+        from repro.sweep.report import SweepReport as Report
+
+        release = threading.Event()
+
+        def slow_sweep(self, plan, progress=None, resume=None):
+            release.wait(30)
+            return Report(scenarios=[], counters={})
+
+        monkeypatch.setattr(RealSession, "sweep", slow_sweep)
+        svc = SweepService(
+            ("127.0.0.1", 0),
+            config=SessionConfig(),
+            archive_dir=str(tmp_path / "archive"),
+        )
+        threading.Thread(target=svc.serve_forever, daemon=True).start()
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", svc.port), timeout=5
+            )
+            assert protocol.recv_message(sock)["type"] == "hello"
+            protocol.send_message(
+                sock,
+                protocol.submit_message(protocol.plan_to_wire(_plan())),
+            )
+            job_id = protocol.recv_message(sock)["job"]["id"]
+            protocol.send_message(
+                sock, protocol.job_request_message("job_watch", job_id)
+            )
+            deadline = time.monotonic() + 5
+            while not svc.jobs.get(job_id).subscribers:
+                assert time.monotonic() < deadline, "watch never attached"
+                time.sleep(0.05)
+            sock.close()  # watcher vanishes mid-job
+            deadline = time.monotonic() + 10
+            while svc.jobs.get(job_id).subscribers:
+                assert time.monotonic() < deadline, (
+                    "dead watcher still subscribed"
+                )
+                time.sleep(0.05)
+            # The probe, not job completion, did the cleanup.
+            assert svc.jobs.get(job_id).state == "running"
+        finally:
+            release.set()
+            svc.close()
+
     def test_plans_with_targets_are_refused(self, service):
         from repro.stonne.layer import ConvLayer
 
@@ -489,6 +596,41 @@ class TestAuth:
             assert not svc.jobs.list()  # refused hellos changed nothing
             with ServeClient(svc.address, secret="s3cret") as client:
                 assert client.ping()
+        finally:
+            svc.close()
+
+    def test_every_client_verb_resolves_config_file_secret(
+        self, tmp_path, capsys
+    ):
+        """A secret configured via fleet.secret in a --config file (not
+        the environment) must authenticate jobs/status/result/cancel the
+        same way it authenticates submit."""
+        from repro.cli import main
+
+        svc = SweepService(
+            ("127.0.0.1", 0),
+            config=SessionConfig(),
+            archive_dir=str(tmp_path),
+            secret="cfg-secret",
+        )
+        threading.Thread(target=svc.serve_forever, daemon=True).start()
+        cfg = tmp_path / "client.toml"
+        cfg.write_text('[fleet]\nsecret = "cfg-secret"\n')
+        try:
+            assert main(
+                ["jobs", "--connect", svc.address, "--config", str(cfg)]
+            ) == 0
+            # The other verbs authenticate too: they get past the
+            # handshake and are refused only for the unknown job id.
+            for verb in ("status", "result", "cancel"):
+                assert main(
+                    [verb, "job-9999", "--connect", svc.address,
+                     "--config", str(cfg)]
+                ) == 1
+                assert "unknown job" in capsys.readouterr().err
+            # Without the config file there is no secret to present.
+            assert main(["jobs", "--connect", svc.address]) == 1
+            assert "requires a shared secret" in capsys.readouterr().err
         finally:
             svc.close()
 
