@@ -1,0 +1,137 @@
+"""Transformer encoder block sweep throughput across the controllers.
+
+The paper's evaluation stops at AlexNet-era CNNs; the workload zoo's
+``transformer`` entry lowers one encoder block (QKV projections,
+per-head attention score/value GEMMs, FFN pair) to dense FC scenarios
+every controller can run.  This bench sweeps the block across
+MAERI/SIGMA/TPU at two array sizes through the functional datapath and
+records end-to-end sweep throughput (layer simulations per second).
+
+Emits ``BENCH_transformer.json`` with wall time, per-architecture cycle
+totals at the largest array, and a repeated-run determinism check —
+the sweep tier's bit-identical contract extends to the zoo workloads.
+"""
+
+import json
+import time
+
+from conftest import SMOKE, emit, scaled
+
+from repro.session import Session, SessionConfig
+from repro.sweep import SweepPlan
+from repro.zoo.modern import transformer_encoder_layers
+
+D_MODEL = scaled(256, 64)
+HEADS = scaled(8, 4)
+SEQ_LEN = scaled(64, 16)
+FFN_DIM = scaled(1024, 128)
+
+ARCHES = ["maeri", "sigma", "tpu"]
+MS_SIZES = [64, 128]
+
+
+def _plan(config):
+    return SweepPlan.matrix(
+        config,
+        models=["transformer"],
+        axes={
+            "architecture.arch": list(ARCHES),
+            "architecture.ms_size": list(MS_SIZES),
+        },
+    )
+
+
+def _sweep_once(config):
+    with Session(config) as session:
+        start = time.perf_counter()
+        report = session.sweep(_plan(config))
+        elapsed = time.perf_counter() - start
+    return elapsed, report
+
+
+def _canon(report):
+    """A comparable digest of every scenario's full stats."""
+    return {
+        result.name: [s.to_dict() for s in result.report.layer_stats]
+        for result in report
+    }
+
+
+def _run():
+    config = SessionConfig.resolve(env=False)
+    elapsed_a, report_a = _sweep_once(config)
+    elapsed_b, report_b = _sweep_once(config)
+    return elapsed_a, report_a, elapsed_b, report_b
+
+
+def test_transformer_sweep_throughput(benchmark, results_dir):
+    # Smoke shrinks the block itself, so re-register at bench scale.
+    from repro.zoo import register_model
+
+    layers = transformer_encoder_layers(
+        d_model=D_MODEL, heads=HEADS, seq_len=SEQ_LEN, ffn_dim=FFN_DIM
+    )
+    register_model(
+        "transformer", lambda: list(layers), replace=True,
+        description="encoder block at bench scale", tags=("bench",),
+    )
+
+    elapsed_a, report_a, elapsed_b, report_b = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    n_scenarios = len(report_a)
+    layer_sims = sum(len(r.report.layer_stats) for r in report_a)
+    throughput = layer_sims / elapsed_a
+
+    totals = {}
+    for arch in ARCHES:
+        (result,) = report_a.filter(arch=arch, ms_size=MS_SIZES[-1])
+        totals[arch] = sum(s.cycles for s in result.report.layer_stats)
+
+    record = {
+        "benchmark": "transformer",
+        "smoke": SMOKE,
+        "d_model": D_MODEL,
+        "heads": HEADS,
+        "seq_len": SEQ_LEN,
+        "ffn_dim": FFN_DIM,
+        "arches": ARCHES,
+        "ms_sizes": MS_SIZES,
+        "scenarios": n_scenarios,
+        "layers_per_scenario": len(layers),
+        "layer_simulations": layer_sims,
+        "sweep_wall_s": round(elapsed_a, 4),
+        "layer_sims_per_s": round(throughput, 1),
+        "repeat_wall_s": round(elapsed_b, 4),
+        "deterministic": _canon(report_a) == _canon(report_b),
+        "total_cycles_at_largest_array": totals,
+    }
+    (results_dir / "BENCH_transformer.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    lines = [
+        f"encoder block d_model={D_MODEL} heads={HEADS} seq_len={SEQ_LEN} "
+        f"ffn={FFN_DIM}: {n_scenarios} scenarios "
+        f"({len(layers)} layers each), functional datapath",
+        f"sweep wall: {elapsed_a:.3f}s  "
+        f"throughput: {throughput:,.1f} layer sims/s",
+        f"{'arch':<8}{f'cycles @ ms={MS_SIZES[-1]}':>20}",
+        *(
+            f"{arch:<8}{totals[arch]:>20,}"
+            for arch in ARCHES
+        ),
+    ]
+    emit(results_dir, "transformer_sweep", "\n".join(lines))
+
+    # The block lowers to 4 projections + 2 GEMMs per head + the FFN pair.
+    assert len(layers) == 6 + 2 * HEADS
+    assert n_scenarios == len(ARCHES) * len(MS_SIZES)
+    # Determinism is the oracle the fuzz tier depends on.
+    assert record["deterministic"]
+    # Larger arrays never cost more cycles than smaller ones.
+    for arch in ARCHES:
+        (small,) = report_a.filter(arch=arch, ms_size=MS_SIZES[0])
+        small_total = sum(s.cycles for s in small.report.layer_stats)
+        assert totals[arch] <= small_total, (
+            f"{arch}: ms={MS_SIZES[-1]} slower than ms={MS_SIZES[0]}"
+        )

@@ -1,0 +1,38 @@
+"""Sweep a transformer encoder block across MAERI, SIGMA and the TPU.
+
+The paper's experiment matrix stops at AlexNet-era CNNs; the workload
+zoo's ``transformer`` entry closes the gap by lowering one encoder block
+(QKV projections, per-head attention score/value GEMMs, FFN pair) to
+dense scenarios every controller can run.  This example sweeps the block
+across three architectures and two array sizes in one session — shared
+layers simulate once, and the report filters by axis label.
+
+Run:  python examples/transformer_sweep.py
+"""
+
+from repro.session import Session, SessionConfig
+from repro.sweep import SweepPlan
+
+config = SessionConfig.resolve(env=False)
+plan = SweepPlan.matrix(
+    config,
+    models=["transformer"],
+    axes={
+        "architecture.arch": ["maeri", "sigma", "tpu"],
+        "architecture.ms_size": [64, 128],
+    },
+)
+
+with Session(config) as session:
+    report = session.sweep(plan)
+
+print(report.summary(metric="total_cycles"))
+print()
+
+# Per-architecture totals at ms_size=128 (the axis labels carry the
+# coerced values, so filtering works on exactly what each cell ran).
+for arch in ("maeri", "sigma", "tpu"):
+    (result,) = report.filter(arch=arch, ms_size=128)
+    total = sum(stats.cycles for stats in result.report.layer_stats)
+    print(f"{arch:<8} ms_size=128: {total:>12,} cycles "
+          f"({len(result.report.layer_stats)} layers)")

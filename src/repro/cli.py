@@ -54,7 +54,6 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
-from repro.session import ZOO_MODELS as MODELS
 
 
 def _print_corrections(session) -> None:
@@ -243,11 +242,61 @@ def _load_resume(path):
         return 2
 
 
+def _cmd_fuzz(args, config) -> int:
+    """The ``sweep --fuzz`` / ``--fuzz-repro`` correctness oracle:
+    generate (or reload) scenarios, cross-check every executor backend
+    for bit-identical stats, shrink and re-emit any divergence."""
+    from repro import fuzz as fuzz_mod
+
+    if args.fuzz_repro:
+        plan, config = fuzz_mod.load_repro(args.fuzz_repro)
+        seed = None
+    else:
+        seed = config.tuning.seed
+        plan = fuzz_mod.generate_plan(args.fuzz, seed, config)
+    executors = list(fuzz_mod.DEFAULT_EXECUTORS)
+    if config.fleet.workers:
+        executors.append("remote")
+    seed_text = f", seed {seed}" if seed is not None else ""
+    print(f"fuzz: {len(plan.scenarios)} scenario(s) x {len(executors)} "
+          f"executors ({', '.join(executors)}){seed_text}")
+    result = fuzz_mod.cross_check(plan, base=config, executors=executors)
+    for name in sorted(result.digests):
+        print(f"  {name}: {result.digests[name][executors[0]]}")
+    print(f"fuzz: plan digest {result.plan_digest()}")
+    if result.ok:
+        print(f"fuzz: all {len(result.digests)} scenario(s) bit-identical "
+              f"across {', '.join(executors)}")
+        return 0
+    divergent = result.divergent
+    print(f"fuzz: {len(divergent)} divergent scenario(s): "
+          f"{', '.join(divergent)}", file=sys.stderr)
+    scenario = next(s for s in plan.scenarios if s.name == divergent[0])
+    minimal = fuzz_mod.shrink(scenario, executors)
+    out = args.fuzz_repro_out
+    fuzz_mod.write_repro(
+        out, scenario.config, minimal, seed=seed,
+        note=f"divergent scenario {scenario.name}",
+    )
+    print(f"fuzz: shrunk {scenario.name} to {len(minimal)} layer(s); "
+          f"repro written to {out} "
+          f"(re-run: repro sweep --fuzz-repro {out})", file=sys.stderr)
+    return 4
+
+
 def _cmd_sweep(args) -> int:
     """Execute a scenario matrix: models × profiles × axis overrides."""
     from repro.session import Session, config_from_args
 
     config = config_from_args(args)
+    fuzz_modes = sum(1 for flag in (args.models, args.fuzz, args.fuzz_repro)
+                     if flag)
+    if fuzz_modes != 1:
+        print("error: give exactly one of --models, --fuzz N or "
+              "--fuzz-repro FILE", file=sys.stderr)
+        return 2
+    if args.fuzz or args.fuzz_repro:
+        return _cmd_fuzz(args, config)
     plan = _build_matrix_plan(args, config)
     if isinstance(plan, int):
         return plan
@@ -566,6 +615,29 @@ scenario matrices:
   Archived reports diff (and gate CI):
       repro report diff baseline.json sweep.json --fail-on-regression 5
 
+workload zoo & fuzzing:
+  Models are looked up in one zoo registry (repro.zoo).  Besides the
+  classic paper networks (alexnet, lenet, vgg_small, mlp) it registers
+  modern workloads: a transformer encoder block (QKV/attention/FFN as
+  dense GEMMs), depthwise_sep, grouped_conv, dilated_conv and
+  nhwc_conv — all runnable by name wherever a model is named:
+      repro run transformer --arch sigma
+      repro sweep --models transformer,depthwise_sep --arch maeri \\
+          --axis architecture.ms_size=64,128
+  SIGMA/MAGMA sparsity is a first-class sweep axis in ratio form:
+      repro sweep --models alexnet --arch sigma \\
+          --axis architecture.sparsity_ratio=0.0,0.5,0.9
+  `repro sweep --fuzz N --seed S` turns the sweep tier into a
+  correctness oracle: N seeded random scenarios (random layer shapes,
+  accelerator configs and mapping spaces) run once per executor
+  backend (serial/thread/process, remote when fleet workers are
+  configured) and every simulation statistic is cross-checked for
+  bit-identical results.  Same seed, same plan, same digests.  A
+  divergence is shrunk to a minimal reproducing scenario and written
+  as a ready-to-run TOML (exit 4):
+      repro sweep --fuzz 25 --seed 7
+      repro sweep --fuzz-repro fuzz_repro.toml   # replay the repro
+
 distributed sweeps:
   Start one worker daemon per machine (or core group) — or let the
   session do it with `fleet_autostart = N` in the [fleet] section:
@@ -659,6 +731,11 @@ def _add_service_client_args(parser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.session import add_config_arguments
+    from repro.zoo import zoo_models
+
+    # Resolved at parser-build time so late zoo registrations (plugins,
+    # fuzz models) are included in the choices.
+    MODELS = zoo_models()
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -696,8 +773,24 @@ def build_parser() -> argparse.ArgumentParser:
              "with cross-scenario batching and dedup",
     )
     sweep.add_argument(
-        "--models", required=True, metavar="M1,M2,...",
+        "--models", metavar="M1,M2,...",
         help=f"comma-separated zoo models ({', '.join(MODELS)})")
+    sweep.add_argument(
+        "--fuzz", type=int, metavar="N",
+        help="instead of --models: generate N seeded random scenarios "
+             "(random layers/configs/mappings), run them once per "
+             "executor backend (serial/thread/process, remote when "
+             "fleet workers are configured) and cross-check for "
+             "bit-identical stats; divergences shrink to a minimal "
+             "repro TOML (exit 4).  Seeded by --seed")
+    sweep.add_argument(
+        "--fuzz-repro", dest="fuzz_repro", metavar="FILE",
+        help="re-run a divergence repro file written by --fuzz")
+    sweep.add_argument(
+        "--fuzz-repro-out", dest="fuzz_repro_out", metavar="FILE",
+        default="fuzz_repro.toml",
+        help="where --fuzz writes the shrunk divergence repro "
+             "(default fuzz_repro.toml)")
     add_config_arguments(sweep)
     sweep.add_argument(
         "--profiles", metavar="P1,P2,...",

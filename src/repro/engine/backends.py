@@ -159,9 +159,21 @@ def simulate_layer(controller, layer, mapping, functional: bool):
         from repro.stonne.simulator import _conv_via_gemm
 
         if isinstance(layer, ConvLayer):
-            data = np.ones((layer.N, layer.C, layer.H, layer.W))
-            weights = np.ones((layer.K, layer.C // layer.G, layer.R, layer.S))
-            _conv_via_gemm(data, weights, layer)
+            if layer.layout == "NHWC":
+                # NHWC activations / RSCK kernels, transposed around the
+                # NCHW core exactly like Bifrost's layout-emulation path.
+                from repro.topi.layout import nchw_to_nhwc, nhwc_to_nchw, rsck_to_kcrs
+
+                data = np.ones((layer.N, layer.H, layer.W, layer.C))
+                weights = np.ones((layer.R, layer.S, layer.C // layer.G, layer.K))
+                out = _conv_via_gemm(
+                    nhwc_to_nchw(data), rsck_to_kcrs(weights), layer
+                )
+                nchw_to_nhwc(out)
+            else:
+                data = np.ones((layer.N, layer.C, layer.H, layer.W))
+                weights = np.ones((layer.K, layer.C // layer.G, layer.R, layer.S))
+                _conv_via_gemm(data, weights, layer)
         elif isinstance(layer, FcLayer):
             data = np.ones((layer.batch, layer.in_features))
             weights = np.ones((layer.out_features, layer.in_features))

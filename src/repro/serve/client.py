@@ -16,6 +16,7 @@ of the fleet backend already handle.
 from __future__ import annotations
 
 import socket
+import sys
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -184,27 +185,58 @@ class ServeClient:
         self,
         job_id: str,
         callback: Optional[Callable[[Dict[str, Any]], None]] = None,
+        max_retries: int = 5,
+        backoff_s: float = 0.5,
     ) -> Dict[str, Any]:
         """Stream a job's progress until it lands; returns its final
-        state.  ``callback`` sees every scenario-level event."""
-        with self._lock:
-            sock = self._connect()
+        state.  ``callback`` sees every scenario-level event.
+
+        A transient transport drop (worker restart, flaky link) does not
+        kill the stream: the client reconnects with exponential backoff
+        and resubscribes by job id — the service replays a terminal
+        job's final state on resubscribe, so a job that finished during
+        the outage is still reported.  Each reconnect surfaces as a
+        one-line notice on stderr; only ``max_retries`` *consecutive*
+        failed attempts re-raise (any received progress frame resets
+        the count).  Server-side refusals (:class:`ServeError`, e.g. an
+        unknown job id) are never retried.
+        """
+        attempts = 0
+        while True:
             try:
-                protocol.send_message(
-                    sock, protocol.job_request_message("job_watch", job_id)
+                with self._lock:
+                    sock = self._connect()
+                    try:
+                        protocol.send_message(
+                            sock,
+                            protocol.job_request_message("job_watch", job_id),
+                        )
+                        while True:
+                            response = self._recv()
+                            kind = response.get("type")
+                            if kind == "progress":
+                                attempts = 0
+                                if callback is not None:
+                                    callback(dict(response.get("event", {})))
+                            elif kind == "job":
+                                return dict(response.get("job", {}))
+                            # Unknown frame kinds are skipped
+                            # (version tolerance).
+                    except (OSError, protocol.ProtocolError):
+                        self._drop()
+                        raise
+            except (OSError, protocol.ProtocolError) as exc:
+                attempts += 1
+                if attempts > max_retries:
+                    raise
+                delay = backoff_s * (2 ** (attempts - 1))
+                print(
+                    f"watch: connection to {self.address} dropped "
+                    f"({exc}); reconnecting in {delay:.1f}s "
+                    f"(attempt {attempts}/{max_retries})",
+                    file=sys.stderr,
                 )
-                while True:
-                    response = self._recv()
-                    kind = response.get("type")
-                    if kind == "progress":
-                        if callback is not None:
-                            callback(dict(response.get("event", {})))
-                    elif kind == "job":
-                        return dict(response.get("job", {}))
-                    # Unknown frame kinds are skipped (version tolerance).
-            except (OSError, protocol.ProtocolError):
-                self._drop()
-                raise
+                time.sleep(delay)
 
     def wait(
         self,

@@ -144,11 +144,30 @@ class ArchitectureConfig:
         metadata=_meta(kind="int",
                        help="weight sparsity percentage (SIGMA/MAGMA)"),
     )
+    sparsity_ratio: float = field(
+        default=0.0,
+        metadata=_meta(key="sparsity_ratio", kind="float",
+                       help="weight sparsity as a ratio in [0, 1) "
+                            "(SIGMA/MAGMA); a non-zero value takes "
+                            "precedence over the percentage form and is "
+                            "the spelling sweep axes use "
+                            "(--axis architecture.sparsity_ratio=0,0.5,0.9)"),
+    )
 
     def __post_init__(self) -> None:
         if self.arch not in ARCHITECTURES:
             raise ConfigError(
                 f"arch must be one of {ARCHITECTURES}, got {self.arch!r}"
+            )
+        if not 0 <= self.sparsity <= 100:
+            raise ConfigError(
+                f"sparsity must be a percentage in [0, 100], "
+                f"got {self.sparsity}"
+            )
+        if not 0.0 <= self.sparsity_ratio < 1.0:
+            raise ConfigError(
+                f"sparsity_ratio must be in [0.0, 1.0), "
+                f"got {self.sparsity_ratio}"
             )
 
 
@@ -751,12 +770,19 @@ class SessionConfig:
 
         arch = Architecture()
         a = self.architecture
+        # The ratio spelling (sweep-axis friendly) wins over the legacy
+        # percentage when set; both resolve to the same percent knob.
+        sparsity = (
+            int(round(a.sparsity_ratio * 100))
+            if a.sparsity_ratio > 0
+            else a.sparsity
+        )
         if a.arch == "maeri":
             arch.maeri()
         elif a.arch == "sigma":
-            arch.sigma(a.sparsity)
+            arch.sigma(sparsity)
         elif a.arch == "magma":
-            arch.magma(a.sparsity)
+            arch.magma(sparsity)
         else:
             arch.tpu(a.ms_rows, a.ms_cols)
         if a.arch != "tpu":

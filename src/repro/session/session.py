@@ -44,25 +44,17 @@ from repro.obs.trace import TRACER
 from repro.session.config import SessionConfig
 from repro.session.reports import CompareReport, RunReport, TuneReport
 
-#: Model-zoo names `zoo_layers` (and the CLI's model argument) accept.
+#: The classic paper models (compat export).  The authoritative model
+#: list is the zoo registry — :func:`repro.zoo.zoo_models` — which also
+#: carries the modern workloads and any user/fuzz registrations.
 ZOO_MODELS = ("alexnet", "lenet", "vgg_small", "mlp")
 
 
 def zoo_layers(model: str) -> List:
-    """Layer descriptors of a model-zoo network, conv layers first."""
-    from repro import models as zoo
+    """Layer descriptors of a zoo model (delegates to :mod:`repro.zoo`)."""
+    from repro.zoo import zoo_layers as registry_layers
 
-    if model == "alexnet":
-        return zoo.alexnet_conv_layers() + zoo.alexnet_fc_layers()
-    if model == "lenet":
-        return zoo.lenet_conv_layers() + zoo.lenet_fc_layers()
-    if model == "vgg_small":
-        return zoo.vgg_small_conv_layers() + zoo.vgg_small_fc_layers()
-    if model == "mlp":
-        return zoo.mlp_fc_layers()
-    raise ReproError(
-        f"unknown model {model!r}; expected one of {ZOO_MODELS}"
-    )
+    return registry_layers(model)
 
 
 class Session:

@@ -48,33 +48,58 @@ class ConvLayer:
     pad_w: int = 0
     G: int = 1
     N: int = 1
+    dil_h: int = 1
+    dil_w: int = 1
+    layout: str = "NCHW"
 
     def __post_init__(self) -> None:
-        for attr in ("C", "H", "W", "K", "R", "S", "stride_h", "stride_w", "G", "N"):
+        for attr in (
+            "C", "H", "W", "K", "R", "S",
+            "stride_h", "stride_w", "G", "N", "dil_h", "dil_w",
+        ):
             _check_positive(attr, getattr(self, attr))
         for attr in ("pad_h", "pad_w"):
             _check_non_negative(attr, getattr(self, attr))
+        if self.layout not in ("NCHW", "NHWC"):
+            raise LayerError(
+                f"layout must be 'NCHW' or 'NHWC', got {self.layout!r} "
+                f"for layer {self.name!r}"
+            )
         if self.C % self.G or self.K % self.G:
             raise LayerError(
                 f"groups G={self.G} must divide C={self.C} and K={self.K} "
                 f"for layer {self.name!r}"
             )
-        if self.R > self.H + 2 * self.pad_h or self.S > self.W + 2 * self.pad_w:
+        if (
+            self.eff_R > self.H + 2 * self.pad_h
+            or self.eff_S > self.W + 2 * self.pad_w
+        ):
             raise LayerError(
-                f"filter ({self.R}x{self.S}) larger than padded input "
+                f"dilated filter ({self.eff_R}x{self.eff_S}) larger than "
+                f"padded input "
                 f"({self.H + 2 * self.pad_h}x{self.W + 2 * self.pad_w}) "
                 f"for layer {self.name!r}"
             )
 
     @property
+    def eff_R(self) -> int:
+        """Effective (dilated) filter rows: ``(R-1)*dil_h + 1``."""
+        return (self.R - 1) * self.dil_h + 1
+
+    @property
+    def eff_S(self) -> int:
+        """Effective (dilated) filter columns: ``(S-1)*dil_w + 1``."""
+        return (self.S - 1) * self.dil_w + 1
+
+    @property
     def P(self) -> int:
         """Number of output rows."""
-        return (self.H + 2 * self.pad_h - self.R) // self.stride_h + 1
+        return (self.H + 2 * self.pad_h - self.eff_R) // self.stride_h + 1
 
     @property
     def Q(self) -> int:
         """Number of output columns."""
-        return (self.W + 2 * self.pad_w - self.S) // self.stride_w + 1
+        return (self.W + 2 * self.pad_w - self.eff_S) // self.stride_w + 1
 
     @property
     def macs(self) -> int:
@@ -109,10 +134,17 @@ class ConvLayer:
 
     def describe(self) -> str:
         """Human-readable one-liner used by reports."""
+        extras = ""
+        if self.dil_h != 1 or self.dil_w != 1:
+            extras += f" dil=({self.dil_h},{self.dil_w})"
+        if self.G != 1:
+            extras += f" G={self.G}"
+        if self.layout != "NCHW":
+            extras += f" layout={self.layout}"
         return (
             f"{self.name}: conv2d C={self.C} H={self.H} W={self.W} K={self.K} "
             f"R={self.R} S={self.S} stride=({self.stride_h},{self.stride_w}) "
-            f"pad=({self.pad_h},{self.pad_w}) -> P={self.P} Q={self.Q} "
+            f"pad=({self.pad_h},{self.pad_w}){extras} -> P={self.P} Q={self.Q} "
             f"({self.macs:,} MACs)"
         )
 

@@ -57,6 +57,7 @@ def _im2col(data: np.ndarray, layer: ConvLayer) -> np.ndarray:
         (layer.R, layer.S),
         strides=(layer.stride_h, layer.stride_w),
         padding=(layer.pad_h, layer.pad_w),
+        dilation=(layer.dil_h, layer.dil_w),
     )
 
 
@@ -93,6 +94,8 @@ def _conv_via_gemm(
             stride_w=layer.stride_w,
             pad_h=layer.pad_h,
             pad_w=layer.pad_w,
+            dil_h=layer.dil_h,
+            dil_w=layer.dil_w,
         )
         cols = _im2col(
             data[:, g * c_per_g : (g + 1) * c_per_g], sub_layer

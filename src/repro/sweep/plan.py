@@ -189,15 +189,16 @@ class SweepPlan:
         Expansion order is models (outer) → profiles → axis
         combinations, so reports group naturally by model.
         """
-        from repro.session.session import ZOO_MODELS
+        from repro.zoo import zoo_models
 
         models = list(models)
         if not models:
             raise ConfigError("a sweep matrix needs at least one model")
+        known = zoo_models()
         for model in models:
-            if model not in ZOO_MODELS:
+            if model not in known:
                 raise ReproError(
-                    f"unknown model {model!r}; expected one of {ZOO_MODELS}"
+                    f"unknown model {model!r}; expected one of {known}"
                 )
         profile_items = (
             list(profiles.items()) if profiles else [(None, None)]

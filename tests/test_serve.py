@@ -699,3 +699,79 @@ class TestGracefulShutdown:
             if process.poll() is None:
                 process.kill()
             process.stdout.close()
+
+
+# ----------------------------------------------------------------------
+# watch reconnect
+# ----------------------------------------------------------------------
+class TestWatchReconnect:
+    def test_mid_stream_drop_resumes_with_a_notice(self, service, capsys):
+        """Killing the transport mid-watch must not kill the stream: the
+        client reconnects, resubscribes by job id, and still returns the
+        job's final state — with a one-line stderr notice, no traceback."""
+        dropped = []
+
+        with ServeClient(service.address) as client:
+            job = client.submit(_plan(models=["mlp", "lenet", "alexnet"]))
+
+            def sabotage_once(event):
+                # The callback runs inside the watch loop, so shutting
+                # the socket down here is a deterministic mid-stream drop.
+                if not dropped:
+                    dropped.append(event)
+                    client._sock.shutdown(socket.SHUT_RDWR)
+
+            final = client.watch(job["id"], callback=sabotage_once,
+                                 backoff_s=0.01)
+        assert dropped, "watch never streamed an event to sabotage"
+        assert final["state"] == "done"
+        err = capsys.readouterr().err
+        assert "reconnecting in" in err
+        assert "Traceback" not in err
+
+    def test_terminal_job_replayed_after_drop(self, service, capsys):
+        """A job that finished during the outage is still reported —
+        the service replays terminal state on resubscribe."""
+        with ServeClient(service.address) as client:
+            job = client.submit(_plan())
+            client.wait(job["id"], timeout=120)
+
+            original_recv = client._recv
+            failed = []
+
+            def recv_flaky():
+                if not failed:
+                    failed.append(True)
+                    client._drop()
+                    raise protocol.ProtocolError("synthetic drop")
+                return original_recv()
+
+            client._recv = recv_flaky
+            final = client.watch(job["id"], backoff_s=0.01)
+        assert failed and final["state"] == "done"
+        assert "reconnecting in" in capsys.readouterr().err
+
+    def test_server_refusals_are_never_retried(self, service, capsys):
+        with ServeClient(service.address) as client:
+            start = time.monotonic()
+            with pytest.raises(ServeError):
+                client.watch("job-9999", backoff_s=5.0)
+        # No backoff sleep happened: the refusal surfaced immediately.
+        assert time.monotonic() - start < 2.0
+        assert "reconnecting" not in capsys.readouterr().err
+
+    def test_gives_up_after_max_consecutive_failures(self, monkeypatch):
+        # Nothing listens on this address: every connect attempt fails.
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        client = ServeClient(f"127.0.0.1:{port}")
+        delays = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", delays.append
+        )
+        with pytest.raises((OSError, protocol.ProtocolError)):
+            client.watch("job-0001", max_retries=3, backoff_s=0.5)
+        # Exactly max_retries sleeps, exponentially backed off.
+        assert delays == [0.5, 1.0, 2.0]

@@ -1,16 +1,19 @@
-"""Tests for pruning and bitmap compression (SIGMA's data path)."""
+"""Tests for pruning and bitmap compression (SIGMA's data path),
+plus the sparsity-ratio sweep axis layered on top of it."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
+from repro.session import Session, SessionConfig
 from repro.stonne.sparsity import (
     BitmapTensor,
     measured_sparsity,
     prune_to_sparsity,
 )
+from repro.sweep import SweepPlan
 
 
 class TestPruning:
@@ -83,3 +86,67 @@ class TestBitmap:
     def test_measured_sparsity_rejects_empty(self):
         with pytest.raises(SimulationError):
             measured_sparsity(np.array([]))
+
+
+class TestSparsityRatioAxis:
+    """``architecture.sparsity_ratio`` as a first-class sweep axis."""
+
+    def test_config_validates_the_ratio_range(self):
+        SessionConfig.resolve(env=False, sparsity_ratio=0.9)  # fine
+        with pytest.raises(ConfigError, match="sparsity_ratio"):
+            SessionConfig.resolve(env=False, sparsity_ratio=1.0)
+        with pytest.raises(ConfigError, match="sparsity_ratio"):
+            SessionConfig.resolve(env=False, sparsity_ratio=-0.1)
+
+    def test_ratio_maps_onto_the_controllers_percent_knob(self):
+        config = SessionConfig.resolve(
+            env=False, arch="sigma", sparsity_ratio=0.5
+        )
+        sim_config, _ = config.build_simulator_config()
+        assert sim_config.sparsity_ratio == 50
+
+    def test_zero_ratio_defers_to_the_legacy_percent_field(self):
+        config = SessionConfig.resolve(
+            env=False, arch="sigma", sparsity=30, sparsity_ratio=0.0
+        )
+        sim_config, _ = config.build_simulator_config()
+        assert sim_config.sparsity_ratio == 30
+
+    def test_axis_coerces_through_config_rules(self):
+        config = SessionConfig.resolve(env=False, arch="sigma")
+        plan = SweepPlan.matrix(
+            config,
+            models=["mlp"],
+            axes={"architecture.sparsity_ratio": ["0.0", "0.5", "0.9"]},
+        )
+        ratios = [s.config.architecture.sparsity_ratio for s in plan.scenarios]
+        assert ratios == [0.0, 0.5, 0.9]  # strings coerced to floats
+        with pytest.raises(ConfigError):
+            SweepPlan.matrix(
+                config,
+                models=["mlp"],
+                axes={"architecture.sparsity_ratio": [1.5]},
+            )
+
+    def test_fig9_style_sweep_shape_and_filter(self):
+        """One sweep reproduces Fig. 9's qualitative shape: AlexNet on
+        SIGMA needs monotonically fewer cycles as sparsity rises, and
+        each cell is reachable via ``filter(sparsity_ratio=...)``."""
+        config = SessionConfig.resolve(env=False, arch="sigma")
+        plan = SweepPlan.matrix(
+            config,
+            models=["alexnet"],
+            axes={"architecture.sparsity_ratio": [0.0, 0.5, 0.9]},
+        )
+        with Session(config) as session:
+            report = session.sweep(plan)
+        assert len(report) == 3
+        cycles = {}
+        for ratio in (0.0, 0.5, 0.9):
+            (result,) = report.filter(sparsity_ratio=ratio)
+            cycles[ratio] = result.metric("total_cycles")
+        assert cycles[0.0] > cycles[0.5] > cycles[0.9]
+        # Fig. 9's quantitative band at 50%: fewer cycles overall, with
+        # the whole-network saving between the paper's conv/fc means.
+        saving = 1 - cycles[0.5] / cycles[0.0]
+        assert 0.35 <= saving <= 0.62
